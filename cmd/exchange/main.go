@@ -1,0 +1,54 @@
+// Command exchange runs the wire-level exchange simulator: SBE market data
+// out over UDP, iLink-style binary order entry in over TCP, with a
+// background noise trader keeping the book alive. Pair it with
+// examples/livefeed for a full tick-to-trade loop over real sockets.
+//
+// Usage:
+//
+//	exchange -orders 127.0.0.1:9440 -feed 127.0.0.1:9441 -noise 1ms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"lighttrader/internal/venue"
+)
+
+func main() {
+	orders := flag.String("orders", "127.0.0.1:9440", "TCP order-entry listen address")
+	feedAddr := flag.String("feed", "127.0.0.1:9441", "UDP market-data destination")
+	symbol := flag.String("symbol", "ESU6", "instrument symbol")
+	secID := flag.Int("security", 1, "security id")
+	mid := flag.Int64("mid", 450000, "initial mid price")
+	noise := flag.Duration("noise", time.Millisecond, "mean background order-flow interval (0 disables)")
+	seed := flag.Int64("seed", 1, "noise-trader seed")
+	flag.Parse()
+
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:     *orders,
+		FeedAddr:      *feedAddr,
+		SecurityID:    int32(*secID),
+		Symbol:        *symbol,
+		MidPrice:      *mid,
+		Depth:         100,
+		NoiseInterval: *noise,
+		NoiseSeed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exchange:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exchange up: orders %s, feed → %s, symbol %s\n", srv.OrderAddr(), *feedAddr, *symbol)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := srv.Run(ctx); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "exchange:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command lighttrader runs a back-test of the LightTrader system (or a
+// baseline) against a synthetic or recorded tick trace and prints the
+// response-rate / latency metrics.
+//
+// Usage:
+//
+//	lighttrader -model deeplob -accels 4 -power sufficient -ws -ds
+//	lighttrader -trace ticks.lttr -system gpu
+//	lighttrader -ticks 50000 -tavail 20ms -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lighttrader"
+)
+
+func main() {
+	model := flag.String("model", "deeplob", "DNN model: cnn, translob, deeplob")
+	system := flag.String("system", "lighttrader", "system under test: lighttrader, gpu, fpga")
+	accels := flag.Int("accels", 4, "number of AI accelerators (lighttrader only)")
+	power := flag.String("power", "sufficient", "power condition: sufficient, limited")
+	ws := flag.Bool("ws", false, "enable workload scheduling (Algorithm 1 batching)")
+	ds := flag.Bool("ds", false, "enable DVFS scheduling (Algorithm 2)")
+	ticks := flag.Int("ticks", 40000, "synthetic trace length")
+	seed := flag.Int64("seed", 1, "synthetic trace seed")
+	tracePath := flag.String("trace", "", "replay a recorded trace file instead of generating one")
+	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
+	flag.Parse()
+
+	m, err := pickModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := loadTrace(*tracePath, *ticks, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sys lighttrader.System
+	switch strings.ToLower(*system) {
+	case "lighttrader", "lt":
+		pc := lighttrader.Sufficient
+		if strings.EqualFold(*power, "limited") {
+			pc = lighttrader.Limited
+		}
+		sys, err = lighttrader.NewLightTrader(m, *accels, pc, lighttrader.SchedulerOptions{
+			WorkloadScheduling: *ws, DVFSScheduling: *ds,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case "gpu":
+		sys = lighttrader.NewGPUBaseline(m)
+	case "fpga":
+		sys = lighttrader.NewFPGABaseline(m)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	start := time.Now()
+	metrics := lighttrader.Backtest(trace, *tavail, sys)
+	elapsed := time.Since(start)
+
+	fmt.Printf("system          %s\n", sys.Name())
+	fmt.Printf("trace           %d ticks over %.1f s (t_avail %v)\n",
+		metrics.Total, traceSpanSecs(trace), *tavail)
+	fmt.Printf("response rate   %.2f%%   (responded %d, deferred %d, late %d)\n",
+		100*metrics.ResponseRate, metrics.Responded, metrics.Dropped, metrics.Late)
+	fmt.Printf("miss rate       %.2f%%\n", 100*metrics.MissRate)
+	fmt.Printf("tick-to-trade   mean %s  p50 %s  p99 %s  max %s\n",
+		dur(metrics.MeanLatencyNanos), dur(metrics.P50LatencyNanos),
+		dur(metrics.P99LatencyNanos), dur(metrics.MaxLatencyNanos))
+	fmt.Printf("mean batch      %.2f\n", metrics.MeanBatch)
+	if metrics.EnergyJoules > 0 {
+		fmt.Printf("energy          %.1f J (avg %.1f W)\n", metrics.EnergyJoules, metrics.AvgPowerWatts)
+	}
+	fmt.Printf("simulated in    %v\n", elapsed.Round(time.Millisecond))
+}
+
+func pickModel(name string) (*lighttrader.Model, error) {
+	switch strings.ToLower(name) {
+	case "cnn", "vanillacnn":
+		return lighttrader.NewVanillaCNN(), nil
+	case "translob":
+		return lighttrader.NewTransLOB(), nil
+	case "deeplob":
+		return lighttrader.NewDeepLOB(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want cnn, translob, deeplob)", name)
+	}
+}
+
+func loadTrace(path string, ticks int, seed int64) ([]lighttrader.Tick, error) {
+	if path == "" {
+		cfg := lighttrader.DefaultTraceConfig()
+		cfg.Seed = seed
+		return lighttrader.GenerateTrace(cfg, ticks), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, trace, err := lighttrader.ReadTrace(f)
+	return trace, err
+}
+
+func traceSpanSecs(trace []lighttrader.Tick) float64 {
+	if len(trace) < 2 {
+		return 0
+	}
+	return float64(trace[len(trace)-1].TimeNanos-trace[0].TimeNanos) / 1e9
+}
+
+func dur(ns int64) string { return time.Duration(ns).Round(100 * time.Nanosecond).String() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lighttrader:", err)
+	os.Exit(1)
+}

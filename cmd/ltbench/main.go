@@ -1,0 +1,66 @@
+// Command ltbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ltbench                      # run everything
+//	ltbench -exp fig12           # one experiment: tableI…tableIII, fig8…fig13, ablations
+//	ltbench -ticks 40000         # trace length
+//	ltbench -tavail 20ms         # per-query available time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lighttrader/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, tableII, tableIII, fig8, fig9, fig11, fig12, fig13")
+	ticks := flag.Int("ticks", 40000, "trace length in ticks")
+	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	tc := bench.DefaultTraffic()
+	tc.Ticks = *ticks
+	tc.TAvailNanos = tavail.Nanoseconds()
+	tc.Seed = *seed
+
+	run := func(name string, fn func() string) {
+		if *exp != "all" && !strings.EqualFold(*exp, name) {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("tableI", bench.RenderTableI)
+	run("tableII", bench.RenderTableII)
+	run("tableIII", bench.RenderTableIII)
+	run("fig8", func() string { return bench.RenderFig8(bench.Fig8(tc)) })
+	run("fig9", func() string { return bench.RenderFig9(bench.Fig9()) })
+	run("fig11", func() string { return bench.RenderFig11(bench.Fig11(tc)) })
+	run("fig12", func() string { return bench.RenderFig12(bench.Fig12(tc)) })
+	run("fig13", func() string { return bench.RenderFig13(bench.Fig13(tc)) })
+	run("ablations", func() string {
+		return bench.RenderAblationPrecision(bench.AblationPrecision()) + "\n" +
+			bench.RenderAblationPolicy(bench.AblationPolicy(tc)) + "\n" +
+			bench.RenderAblationSwitchDelay(bench.AblationSwitchDelay(tc)) + "\n" +
+			bench.RenderAblationBurstiness(bench.AblationBurstiness(tc))
+	})
+
+	if *exp != "all" {
+		switch strings.ToLower(*exp) {
+		case "tablei", "tableii", "tableiii", "fig8", "fig9", "fig11", "fig12", "fig13", "ablations":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Backtest: the paper's evaluation loop in ~40 lines.
+//
+// Replays a bursty synthetic CME-like trace against LightTrader with 1…8
+// accelerators and against the GPU- and FPGA-based baselines, printing the
+// response-rate comparison of paper Figs. 11(b) and 12.
+//
+//	go run ./examples/backtest
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lighttrader"
+)
+
+func main() {
+	const ticks = 20000
+	const tAvail = 20 * time.Millisecond
+
+	trace := lighttrader.GenerateTrace(lighttrader.DefaultTraceConfig(), ticks)
+	model := lighttrader.NewDeepLOB()
+	fmt.Printf("backtest: DeepLOB over %d ticks, t_avail %v\n\n", ticks, tAvail)
+
+	fmt.Println("LightTrader (workload + DVFS scheduling, sufficient power):")
+	for _, n := range []int{1, 2, 4, 8} {
+		sys, err := lighttrader.NewLightTrader(model, n, lighttrader.Sufficient,
+			lighttrader.SchedulerOptions{WorkloadScheduling: true, DVFSScheduling: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := lighttrader.Backtest(trace, tAvail, sys)
+		fmt.Printf("  N=%2d accelerators: response %.2f%%  mean tick-to-trade %v  avg power %.1f W\n",
+			n, 100*m.ResponseRate, time.Duration(m.MeanLatencyNanos).Round(time.Microsecond),
+			m.AvgPowerWatts)
+	}
+
+	fmt.Println("\nBaselines:")
+	for _, sys := range []lighttrader.System{
+		lighttrader.NewGPUBaseline(model),
+		lighttrader.NewFPGABaseline(model),
+	} {
+		m := lighttrader.Backtest(trace, tAvail, sys)
+		fmt.Printf("  %-24s response %.2f%%  mean tick-to-trade %v\n",
+			sys.Name(), 100*m.ResponseRate, time.Duration(m.MeanLatencyNanos).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,143 @@
+// Livefeed: the full tick-to-trade loop over real sockets.
+//
+// It boots the wire-level exchange simulator in-process (UDP market data
+// out, TCP iLink-style order entry in), subscribes to the feed, runs every
+// datagram through the functional pipeline — SBE parse → book → feature
+// map → DNN inference → risk checks — and sends the generated orders back
+// to the exchange over TCP, printing fills as they come back.
+//
+//	go run ./examples/livefeed
+//
+// The same trader also works against a standalone `go run ./cmd/exchange`.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"lighttrader"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/orderentry"
+	"lighttrader/internal/venue"
+)
+
+const (
+	securityID = 1
+	symbol     = "ESU6"
+	runFor     = 3 * time.Second
+)
+
+func main() {
+	// Feed subscription socket first, so the exchange knows where to publish.
+	feedConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer feedConn.Close()
+
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:     "127.0.0.1:0",
+		FeedAddr:      feedConn.LocalAddr().String(),
+		SecurityID:    securityID,
+		Symbol:        symbol,
+		MidPrice:      450000,
+		Depth:         100,
+		NoiseInterval: 500 * time.Microsecond,
+		NoiseSeed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), runFor)
+	defer cancel()
+	go func() { _ = srv.Run(ctx) }()
+
+	// Order-entry session.
+	orderConn, err := net.Dial("tcp", srv.OrderAddr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer orderConn.Close()
+
+	// Calibrate the normaliser offline, as the paper does with historical
+	// data, then build the pipeline.
+	calib := lighttrader.GenerateTrace(lighttrader.DefaultTraceConfig(), 500)
+	tcfg := lighttrader.DefaultTradingConfig(securityID)
+	tcfg.MinConfidence = 0.34
+	pipeline, err := lighttrader.NewPipeline(symbol, securityID,
+		lighttrader.NewVanillaCNN(), lighttrader.CalibrateNormalizer(calib), tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill listener: decode ExecAck frames from the TCP session.
+	go readAcks(orderConn, pipeline)
+
+	fmt.Printf("livefeed: trading %s for %v (feed %s, orders %s)\n\n",
+		symbol, runFor, feedConn.LocalAddr(), srv.OrderAddr())
+
+	buf := make([]byte, 64<<10)
+	var packets, orders int
+	deadline := time.Now().Add(runFor)
+	for time.Now().Before(deadline) {
+		_ = feedConn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := feedConn.ReadFrom(buf)
+		if err != nil {
+			continue // idle feed tick
+		}
+		packets++
+		reqs, err := pipeline.OnPacket(buf[:n])
+		if err != nil {
+			log.Printf("packet dropped: %v", err)
+			continue
+		}
+		for _, req := range reqs {
+			if _, err := orderConn.Write(orderentry.AppendRequest(nil, req)); err != nil {
+				log.Fatalf("order send: %v", err)
+			}
+			orders++
+		}
+	}
+
+	fmt.Printf("\nsession done: %d packets, %d inferences, %d orders sent, final position %d\n",
+		packets, pipeline.Inferences(), orders, pipeline.Trader().Position())
+}
+
+// readAcks streams execution acks back into the trading engine.
+func readAcks(conn net.Conn, pipeline *lighttrader.Pipeline) {
+	buf := make([]byte, 0, 8192)
+	tmp := make([]byte, 2048)
+	for {
+		n, err := conn.Read(tmp)
+		if err != nil {
+			return
+		}
+		buf = append(buf, tmp[:n]...)
+		for {
+			frame, consumed, err := orderentry.DecodeFrame(buf)
+			if errors.Is(err, orderentry.ErrILinkShort) {
+				break
+			}
+			if err != nil {
+				return
+			}
+			buf = buf[consumed:]
+			if frame.Ack == nil {
+				continue
+			}
+			if frame.Ack.Exec == exchange.ExecFilled || frame.Ack.Exec == exchange.ExecPartialFill {
+				fmt.Printf("  fill: clOrdID %d %d @ %d\n", frame.Ack.ClOrdID, frame.Ack.Qty, frame.Ack.Price)
+			}
+			// The trading engine recalls each order's side from its own
+			// records; binary acks do not carry it.
+			pipeline.OnExecReport(exchange.ExecReport{
+				Exec: frame.Ack.Exec, ClOrdID: frame.Ack.ClOrdID,
+				Price: frame.Ack.Price, Qty: frame.Ack.Qty,
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: one tick through the whole AI-enabled HFT pipeline.
+//
+// It generates a short burst of market data, calibrates the offload
+// engine's Z-score normaliser, then feeds encoded market-data packets
+// through the functional tick-to-trade path — SBE parse → local book →
+// feature map → real DNN forward pass → risk-checked order generation —
+// and prints what the system decided on the final ticks.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lighttrader"
+)
+
+func main() {
+	cfg := lighttrader.DefaultTraceConfig()
+
+	// 150 ticks: 100 to fill the model's input window, 50 live ones.
+	trace := lighttrader.GenerateTrace(cfg, 150)
+	norm := lighttrader.CalibrateNormalizer(trace[:100])
+
+	tcfg := lighttrader.DefaultTradingConfig(cfg.SecurityID)
+	tcfg.MinConfidence = 0.34 // act on any directional lean
+
+	pipeline, err := lighttrader.NewPipeline(cfg.Symbol, cfg.SecurityID,
+		lighttrader.NewVanillaCNN(), norm, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("quickstart: %s, %d ticks\n\n", cfg.Symbol, len(trace))
+	var orders int
+	for i, tick := range trace {
+		reqs, err := pipeline.OnPacket(tick.Packet)
+		if err != nil {
+			log.Fatalf("tick %d: %v", i, err)
+		}
+		for _, req := range reqs {
+			orders++
+			side := "BUY "
+			if req.Side == 1 {
+				side = "SELL"
+			}
+			fmt.Printf("tick %3d  %s %d @ %d (clOrdID %d)\n",
+				i, side, req.Qty, req.Price, req.ClOrdID)
+		}
+	}
+
+	snap := pipeline.Snapshot(0)
+	fmt.Printf("\nprocessed %d ticks, ran %d inferences, generated %d orders\n",
+		pipeline.Ticks(), pipeline.Inferences(), orders)
+	fmt.Printf("final book: best bid %d x %d | best ask %d x %d\n",
+		snap.Bids[0].Price, snap.Bids[0].Qty, snap.Asks[0].Price, snap.Asks[0].Qty)
+	for _, d := range pipeline.Trader().Decisions()[:min(5, len(pipeline.Trader().Decisions()))] {
+		fmt.Printf("decision: %-10s conf %.2f acted=%v %s\n",
+			d.Direction, d.Confidence, d.Acted, d.Suppressed)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

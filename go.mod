@@ -1,0 +1,3 @@
+module lighttrader
+
+go 1.22

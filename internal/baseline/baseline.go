@@ -1,0 +1,202 @@
+// Package baseline models the two comparison systems of paper §II-D/IV-A:
+// the GPU-based system (Intel i7-11700 + XtremeScale X2522 NIC + NVIDIA
+// Tesla V100) and the FPGA-based system (i7-11700 + Alveo U250). Both are
+// profiled-latency queueing models behind the same sim.SystemModel
+// interface as LightTrader, per the DESIGN.md substitution table: the
+// GPU column is dominated by per-layer kernel dispatch through the
+// framework/driver stack plus PCIe and NIC/CPU hops, and the FPGA column by
+// its limited effective FLOPS.
+package baseline
+
+import (
+	"fmt"
+
+	"lighttrader/internal/nn"
+	"lighttrader/internal/sim"
+)
+
+// Profile is a system's profiled service behaviour for one model.
+type Profile struct {
+	Name string
+	// ServiceNanos is the batch-1 end-to-end processing time: network and
+	// host hops, dispatch, transfer and compute.
+	ServiceNanos int64
+	// BusyWatts/IdleWatts are system-level draws (accelerator + host).
+	BusyWatts, IdleWatts float64
+}
+
+// GPU latency-model constants.
+const (
+	// gpuFixedNanos covers NIC→CPU ingress, pre/post-processing on the
+	// host, and PCIe input/output transfers.
+	gpuFixedNanos = 300_000
+	// gpuDispatchNanos is the per-layer kernel-launch cost through the
+	// framework and driver stack.
+	gpuDispatchNanos = 200_000
+	// gpuEffFLOPS is sustained batch-1 throughput: ~1% of the V100's
+	// 125 TFLOPS tensor peak, the utilisation small single-query HFT
+	// networks achieve (§II-D: "most job batch sizes in AI-enabled HFT are
+	// set to single, so it is hard for GPU to achieve the best throughput
+	// performance").
+	gpuEffFLOPS = 1.25e12
+	gpuBusyW    = 315 // V100 under mixed dispatch/compute + host
+	gpuIdleW    = 95
+)
+
+// FPGA latency-model constants.
+const (
+	// fpgaFixedNanos covers NIC-less direct ingress, XDMA setup and host
+	// orchestration of the U250 bitstream.
+	fpgaFixedNanos = 400_000
+	// fpgaEffFLOPS is the DSP-bound sustained throughput of the U250
+	// inference overlay (§II-D: "FPGAs have limited computing resources").
+	fpgaEffFLOPS = 12e9
+	fpgaBusyW    = 170 // U250 under load + host
+	fpgaIdleW    = 70
+)
+
+// GPUProfile profiles the GPU-based system for a model.
+func GPUProfile(m *nn.Model) Profile {
+	compute := int64(float64(m.TotalFLOPs()) / gpuEffFLOPS * 1e9)
+	return Profile{
+		Name:         "GPU-based",
+		ServiceNanos: gpuFixedNanos + int64(len(m.Layers))*gpuDispatchNanos + compute,
+		BusyWatts:    gpuBusyW,
+		IdleWatts:    gpuIdleW,
+	}
+}
+
+// FPGAProfile profiles the FPGA-based system for a model.
+func FPGAProfile(m *nn.Model) Profile {
+	compute := int64(float64(m.TotalFLOPs()) / fpgaEffFLOPS * 1e9)
+	return Profile{
+		Name:         "FPGA-based",
+		ServiceNanos: fpgaFixedNanos + compute,
+		BusyWatts:    fpgaBusyW,
+		IdleWatts:    fpgaIdleW,
+	}
+}
+
+// System is a single-server FIFO queueing model implementing
+// sim.SystemModel with the paper's defer-on-infeasible drop rule.
+type System struct {
+	profile  Profile
+	model    string
+	maxQueue int
+
+	queue   []sim.Query
+	busy    bool
+	doneAt  int64
+	current sim.Query
+
+	pending []sim.Completion
+	lastNow int64
+
+	energyJ      float64
+	lastEnergyAt int64
+	energyStart  bool
+}
+
+var _ sim.SystemModel = (*System)(nil)
+var _ sim.EnergyReporter = (*System)(nil)
+
+// NewSystem builds a baseline system for the given profile.
+func NewSystem(p Profile, model string) *System {
+	return &System{profile: p, model: model, maxQueue: 64}
+}
+
+// NewGPU builds the GPU-based system for a model.
+func NewGPU(m *nn.Model) *System { return NewSystem(GPUProfile(m), m.Name()) }
+
+// NewFPGA builds the FPGA-based system for a model.
+func NewFPGA(m *nn.Model) *System { return NewSystem(FPGAProfile(m), m.Name()) }
+
+// Profile exposes the profiled service behaviour.
+func (s *System) Profile() Profile { return s.profile }
+
+// Name implements sim.SystemModel.
+func (s *System) Name() string { return fmt.Sprintf("%s[%s]", s.profile.Name, s.model) }
+
+// Reset implements sim.SystemModel.
+func (s *System) Reset() {
+	s.queue = s.queue[:0]
+	s.busy = false
+	s.pending = nil
+	s.lastNow = 0
+	s.energyJ = 0
+	s.energyStart = false
+}
+
+// EnergyJoules implements sim.EnergyReporter.
+func (s *System) EnergyJoules() float64 { return s.energyJ }
+
+func (s *System) accrueEnergy(now int64) {
+	if !s.energyStart {
+		s.lastEnergyAt = now
+		s.energyStart = true
+		return
+	}
+	dt := float64(now-s.lastEnergyAt) / 1e9
+	if dt <= 0 {
+		return
+	}
+	w := s.profile.IdleWatts
+	if s.busy {
+		w = s.profile.BusyWatts
+	}
+	s.energyJ += w * dt
+	s.lastEnergyAt = now
+}
+
+// OnArrival implements sim.SystemModel.
+func (s *System) OnArrival(now int64, q sim.Query) {
+	s.accrueEnergy(now)
+	s.lastNow = now
+	if len(s.queue) >= s.maxQueue {
+		s.pending = append(s.pending, sim.Completion{Query: s.queue[0], Dropped: true})
+		s.queue = s.queue[1:]
+	}
+	s.queue = append(s.queue, q)
+	s.dispatch(now)
+}
+
+// dispatch starts service on the head query if the server is free,
+// deferring queries that can no longer meet their deadline.
+func (s *System) dispatch(now int64) {
+	for !s.busy && len(s.queue) > 0 {
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		if now+s.profile.ServiceNanos > head.DeadlineNanos {
+			s.pending = append(s.pending, sim.Completion{Query: head, Dropped: true})
+			continue
+		}
+		s.busy = true
+		s.current = head
+		s.doneAt = now + s.profile.ServiceNanos
+	}
+}
+
+// NextEventTime implements sim.SystemModel.
+func (s *System) NextEventTime() int64 {
+	if len(s.pending) > 0 {
+		return s.lastNow
+	}
+	if s.busy {
+		return s.doneAt
+	}
+	return sim.NoEvent
+}
+
+// Advance implements sim.SystemModel.
+func (s *System) Advance(now int64) []sim.Completion {
+	s.accrueEnergy(now)
+	s.lastNow = now
+	out := s.pending
+	s.pending = nil
+	if s.busy && s.doneAt <= now {
+		out = append(out, sim.Completion{Query: s.current, DoneNanos: s.doneAt, Batch: 1})
+		s.busy = false
+	}
+	s.dispatch(now)
+	return out
+}

@@ -1,0 +1,105 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV). Each experiment has a builder returning structured
+// rows and a renderer producing the table the paper reports; cmd/ltbench
+// and the repository-level benchmarks drive them. EXPERIMENTS.md records
+// paper-vs-measured values for each.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/feed"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/sim"
+)
+
+// TrafficConfig defines the market-data workload all figure experiments
+// replay: a Hawkes-clustered tick stream and the per-tick available time.
+type TrafficConfig struct {
+	// Calm is the routine-quoting Hawkes component (moderate clustering);
+	// Burst is the rare near-critical cascade component; Flash is the very
+	// rare flash-event component whose local rate exceeds even a multi-
+	// accelerator system. Together they give the multi-scale burst
+	// structure of §II-C (market disruptions "more than once a day").
+	Calm  feed.HawkesParams
+	Burst feed.HawkesParams
+	Flash feed.FlashParams
+	Seed  int64
+	Ticks int
+	// TAvailNanos is t_avail, the prediction-horizon budget per query.
+	TAvailNanos int64
+}
+
+// DefaultTraffic is calibrated so the response-rate experiments land in
+// the paper's regimes: a calm component of routine quoting plus a rare
+// near-critical cascade component whose local rate (≈9 k ticks/s) sits just
+// above a single accelerator's service capacity, under a generous 20 ms
+// horizon budget (misses are throughput-driven drops, as in the paper's
+// bursty-traffic discussion, not per-query latency).
+func DefaultTraffic() TrafficConfig {
+	return TrafficConfig{
+		Calm:        feed.HawkesParams{Mu: 250, Alpha: 2000, Beta: 5000},
+		Burst:       feed.HawkesParams{Mu: 6.5, Alpha: 540, Beta: 560},
+		Flash:       feed.FlashParams{MeanIntervalSecs: 11, DurationSecs: 0.005, RateHz: 75000},
+		Seed:        1,
+		Ticks:       40000,
+		TAvailNanos: 20_000_000,
+	}
+}
+
+// queryCache memoises generated query streams per config (trace generation
+// dominates experiment runtime otherwise).
+var queryCache = map[TrafficConfig][]sim.Query{}
+
+// Queries generates (or reuses) the deterministic query stream.
+func (tc TrafficConfig) Queries() []sim.Query {
+	if qs, ok := queryCache[tc]; ok {
+		return qs
+	}
+	gcfg := feed.DefaultGeneratorConfig()
+	gcfg.Arrivals = feed.NewProcessMixture([]feed.ArrivalProcess{
+		feed.NewHawkes(tc.Calm, tc.Seed+1),
+		feed.NewHawkes(tc.Burst, tc.Seed+7919),
+		feed.NewFlash(tc.Flash, tc.Seed+15887),
+	})
+	gcfg.Seed = tc.Seed
+	gen, err := feed.NewGenerator(gcfg)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	qs := sim.QueriesFromTicks(gen.Generate(tc.Ticks), tc.TAvailNanos)
+	queryCache[tc] = qs
+	return qs
+}
+
+// Scale returns a copy with the tick count scaled by f (for -short runs).
+func (tc TrafficConfig) Scale(ticks int) TrafficConfig {
+	tc.Ticks = ticks
+	return tc
+}
+
+// runLT builds and runs a LightTrader configuration.
+func runLT(tc TrafficConfig, m *nn.Model, n int, pc core.PowerCondition, opts core.Options) (sim.Metrics, core.SystemConfig) {
+	cfg, err := core.Configure(m, n, pc, opts)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sim.Run(tc.Queries(), sys), cfg
+}
+
+// header renders an aligned table heading.
+func header(b *strings.Builder, title string) {
+	b.WriteString(title)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", len(title)))
+	b.WriteString("\n")
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%5.1f%%", 100*x) }

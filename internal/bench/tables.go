@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/compile"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/sched"
+)
+
+// TableI reproduces the single-accelerator specification table.
+type TableIRow struct {
+	Process      string
+	PackageSize  string
+	VoltageRange string
+	MaxFreqGHz   float64
+	MaxPowerW    float64
+	PeakTFLOPS   float64 // BF16
+	PeakTOPS     float64 // INT8
+}
+
+// TableIData returns the accelerator specification (paper Table I plus the
+// §III-C throughput numbers).
+func TableIData() TableIRow {
+	s := cgra.DefaultSpec()
+	return TableIRow{
+		Process:      "7 nm (modelled)",
+		PackageSize:  "8.7 mm × 8.7 mm (paper)",
+		VoltageRange: fmt.Sprintf("%.2f–%.2f V", s.MinVolt, s.MaxVolt),
+		MaxFreqGHz:   s.MaxFreqGHz,
+		MaxPowerW:    s.MaxPowerWatts,
+		PeakTFLOPS:   s.PeakTFLOPS(s.MaxFreqGHz),
+		PeakTOPS:     s.PeakTOPS(s.MaxFreqGHz),
+	}
+}
+
+// RenderTableI renders Table I.
+func RenderTableI() string {
+	r := TableIData()
+	var b strings.Builder
+	header(&b, "Table I: Single AI accelerator specification")
+	fmt.Fprintf(&b, "%-14s %s\n", "Process", r.Process)
+	fmt.Fprintf(&b, "%-14s %s\n", "Package", r.PackageSize)
+	fmt.Fprintf(&b, "%-14s %s\n", "Voltage", r.VoltageRange)
+	fmt.Fprintf(&b, "%-14s up to %.1f GHz\n", "Frequency", r.MaxFreqGHz)
+	fmt.Fprintf(&b, "%-14s up to %.1f W\n", "Power", r.MaxPowerW)
+	fmt.Fprintf(&b, "%-14s %.1f TFLOPS (BF16), %.1f TOPS (INT8)\n", "Peak", r.PeakTFLOPS, r.PeakTOPS)
+	return b.String()
+}
+
+// TableIIRow is one benchmark model (paper Table II).
+type TableIIRow struct {
+	Model      string
+	Network    string
+	FLOPs      int64
+	Params     int64
+	PaperGOPs  float64 // the paper's reported total OPs, for reference
+	Hyperblock int
+}
+
+// TableIIData returns the benchmark-model inventory.
+func TableIIData() []TableIIRow {
+	paper := map[string]struct {
+		network string
+		gops    float64
+	}{
+		"VanillaCNN": {"CNN", 93.0},
+		"TransLOB":   {"CNN+Transformer", 203.9},
+		"DeepLOB":    {"CNN+LSTM", 515.4},
+	}
+	spec := cgra.DefaultSpec()
+	var rows []TableIIRow
+	for _, m := range nn.BenchmarkModels() {
+		k, err := compile.Compile(m, spec)
+		if err != nil {
+			panic(err)
+		}
+		p := paper[m.Name()]
+		rows = append(rows, TableIIRow{
+			Model:      m.Name(),
+			Network:    p.network,
+			FLOPs:      m.TotalFLOPs(),
+			Params:     m.Params(),
+			PaperGOPs:  p.gops,
+			Hyperblock: len(k.Blocks),
+		})
+	}
+	return rows
+}
+
+// RenderTableII renders Table II.
+func RenderTableII() string {
+	var b strings.Builder
+	header(&b, "Table II: HFT DNN models for evaluation benchmark")
+	fmt.Fprintf(&b, "%-12s %-17s %12s %10s %7s %s\n",
+		"Model", "Network", "FLOPs/inf", "Params", "Blocks", "Paper total OPs")
+	for _, r := range TableIIData() {
+		fmt.Fprintf(&b, "%-12s %-17s %12d %10d %7d %.1fG\n",
+			r.Model, r.Network, r.FLOPs, r.Params, r.Hyperblock, r.PaperGOPs)
+	}
+	return b.String()
+}
+
+// TableIIIRow is one (power condition, N) column of paper Table III.
+type TableIIIRow struct {
+	Condition string
+	NumAccels int
+	// AvailablePowerW is the per-accelerator share of the budget.
+	AvailablePowerW float64
+	// FreqGHz maps model name → conservative static frequency.
+	FreqGHz map[string]float64
+}
+
+// TableIIIData derives the clock and power configuration for both paper
+// power conditions across accelerator counts.
+func TableIIIData() []TableIIIRow {
+	spec := cgra.DefaultSpec()
+	conditions := []struct {
+		name   string
+		budget float64
+	}{
+		{"sufficient", 55.0},
+		{"limited", 20.0},
+	}
+	kernels := map[string]*cgra.Kernel{}
+	for _, m := range nn.BenchmarkModels() {
+		k, err := compile.Compile(m, spec)
+		if err != nil {
+			panic(err)
+		}
+		kernels[m.Name()] = k
+	}
+	var rows []TableIIIRow
+	for _, c := range conditions {
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			row := TableIIIRow{
+				Condition:       c.name,
+				NumAccels:       n,
+				AvailablePowerW: c.budget / float64(n),
+				FreqGHz:         map[string]float64{},
+			}
+			for name, k := range kernels {
+				d, _ := sched.StaticDVFSFor(spec, k, n, c.budget)
+				row.FreqGHz[name] = d.FreqGHz
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderTableIII renders Table III.
+func RenderTableIII() string {
+	var b strings.Builder
+	header(&b, "Table III: Clock frequency & available power configuration")
+	rows := TableIIIData()
+	for _, cond := range []string{"sufficient", "limited"} {
+		fmt.Fprintf(&b, "%s power condition:\n", cond)
+		fmt.Fprintf(&b, "  %-22s", "# of AI accelerators")
+		for _, r := range rows {
+			if r.Condition == cond {
+				fmt.Fprintf(&b, "%8d", r.NumAccels)
+			}
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  %-22s", "Available power (W)")
+		for _, r := range rows {
+			if r.Condition == cond {
+				fmt.Fprintf(&b, "%8.1f", r.AvailablePowerW)
+			}
+		}
+		b.WriteString("\n")
+		for _, model := range []string{"VanillaCNN", "TransLOB", "DeepLOB"} {
+			fmt.Fprintf(&b, "  %-22s", model+" (GHz)")
+			for _, r := range rows {
+				if r.Condition == cond {
+					fmt.Fprintf(&b, "%8.1f", r.FreqGHz[model])
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

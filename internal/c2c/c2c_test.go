@@ -1,0 +1,67 @@
+package c2c
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandwidthRatioMatchesPaper(t *testing.T) {
+	// Paper Fig. 9: the custom C2C interface delivers ≈2.4× the effective
+	// bandwidth of the Interlaken implementation.
+	ratio := BandwidthRatio(CustomC2C(), Interlaken())
+	if ratio < 2.1 || ratio > 2.7 {
+		t.Fatalf("C2C/Interlaken bandwidth ratio = %.2f, want ≈2.4", ratio)
+	}
+}
+
+func TestGoodputBelowRaw(t *testing.T) {
+	for _, l := range []Link{CustomC2C(), Interlaken()} {
+		raw := l.RawGbps() / 8 * 1e9
+		if g := l.GoodputBps(); g <= 0 || g >= raw {
+			t.Fatalf("%s goodput %.0f not within (0, raw %.0f)", l.Name, g, raw)
+		}
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	c := CustomC2C()
+	i := Interlaken()
+	// Zero/negative payload: pure link latency.
+	if c.TransferNanos(0) != c.LatencyNanos {
+		t.Fatal("zero transfer must cost link latency")
+	}
+	if c.TransferNanos(-5) != c.LatencyNanos {
+		t.Fatal("negative payload not clamped")
+	}
+	// The custom link must beat Interlaken at every size.
+	for _, n := range []int64{64, 1024, 8000, 1 << 20} {
+		if c.TransferNanos(n) >= i.TransferNanos(n) {
+			t.Fatalf("custom not faster at %d bytes: %d vs %d", n, c.TransferNanos(n), i.TransferNanos(n))
+		}
+	}
+	// An 8 KB feature map must cross in ~µs, not ms.
+	if ns := c.TransferNanos(8000); ns < 100 || ns > 10_000 {
+		t.Fatalf("8 KB transfer = %d ns implausible", ns)
+	}
+}
+
+func TestQuickTransferMonotone(t *testing.T) {
+	c := CustomC2C()
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(1<<24)), int64(b%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		return c.TransferNanos(x) <= c.TransferNanos(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransferNanos(b *testing.B) {
+	c := CustomC2C()
+	for i := 0; i < b.N; i++ {
+		_ = c.TransferNanos(8000)
+	}
+}

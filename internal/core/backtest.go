@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/feed"
+)
+
+// FunctionalReport summarises a functional (packet-level) back-test.
+type FunctionalReport struct {
+	Ticks      int
+	Inferences int
+	Orders     int
+	// FinalPosition is the net position at the end of the trace.
+	FinalPosition int64
+	// PnLTicks is net profit in tick·lot units, with the open position
+	// marked to the final mid price.
+	PnLTicks float64
+	// FinalMid is the mark price used.
+	FinalMid float64
+}
+
+// FunctionalBacktest replays a recorded trace packet-by-packet through the
+// functional pipeline with an immediate-fill execution model: generated
+// orders are aggressive limits at the touch, so they are assumed filled at
+// their limit price (the standard optimistic taker fill model; queueing
+// and impact are the domain of the latency simulator, not this PnL view).
+func FunctionalBacktest(ticks []feed.Tick, p *Pipeline) (FunctionalReport, error) {
+	var rep FunctionalReport
+	for i := range ticks {
+		reqs, err := p.OnPacket(ticks[i].Packet)
+		if err != nil {
+			return rep, fmt.Errorf("core: backtest tick %d: %w", i, err)
+		}
+		for _, req := range reqs {
+			rep.Orders++
+			p.OnExecReport(exchange.ExecReport{
+				Exec:       exchange.ExecFilled,
+				ClOrdID:    req.ClOrdID,
+				SecurityID: req.SecurityID,
+				Side:       req.Side,
+				Price:      req.Price,
+				Qty:        req.Qty,
+			})
+		}
+	}
+	rep.Ticks = p.Ticks()
+	rep.Inferences = p.Inferences()
+	rep.FinalPosition = p.Trader().Position()
+	if len(ticks) > 0 {
+		rep.FinalMid = ticks[len(ticks)-1].Snapshot.MidPrice()
+	}
+	rep.PnLTicks = p.Trader().MarkToMarket(rep.FinalMid)
+	return rep, nil
+}

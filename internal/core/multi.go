@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/trading"
+)
+
+// MultiPipeline runs one functional pipeline per subscribed instrument over
+// a shared market-data channel, the multi-symbol deployment of §II-C
+// ("even if only a single symbol is subscribed" implies the general case).
+// Each datagram is parsed once and dispatched; every pipeline filters to
+// its own security and maintains an independent book, model and risk state.
+type MultiPipeline struct {
+	pipes map[int32]*Pipeline
+	order []int32 // deterministic dispatch order
+}
+
+// NewMultiPipeline returns an empty multi-instrument pipeline.
+func NewMultiPipeline() *MultiPipeline {
+	return &MultiPipeline{pipes: make(map[int32]*Pipeline)}
+}
+
+// Add subscribes an instrument with its own model, normaliser and limits.
+func (mp *MultiPipeline) Add(symbol string, securityID int32, model *nn.Model, norm offload.Normalizer, tcfg trading.Config) error {
+	if _, dup := mp.pipes[securityID]; dup {
+		return fmt.Errorf("core: security %d already subscribed", securityID)
+	}
+	p, err := NewPipeline(symbol, securityID, model, norm, tcfg)
+	if err != nil {
+		return err
+	}
+	mp.pipes[securityID] = p
+	mp.order = append(mp.order, securityID)
+	return nil
+}
+
+// Pipeline returns the per-instrument pipeline.
+func (mp *MultiPipeline) Pipeline(securityID int32) (*Pipeline, bool) {
+	p, ok := mp.pipes[securityID]
+	return p, ok
+}
+
+// OnPacket parses one datagram and dispatches it to every subscription,
+// concatenating the generated order requests.
+func (mp *MultiPipeline) OnPacket(buf []byte) ([]exchange.Request, error) {
+	pkt, err := sbe.DecodePacket(buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: packet parse: %w", err)
+	}
+	var orders []exchange.Request
+	for _, id := range mp.order {
+		reqs, err := mp.pipes[id].OnDecodedPacket(pkt)
+		if err != nil {
+			return orders, err
+		}
+		orders = append(orders, reqs...)
+	}
+	return orders, nil
+}
+
+// OnExecReport routes an execution report to the owning instrument.
+func (mp *MultiPipeline) OnExecReport(rep exchange.ExecReport) {
+	if p, ok := mp.pipes[rep.SecurityID]; ok {
+		p.OnExecReport(rep)
+	}
+}

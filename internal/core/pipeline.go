@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/trading"
+)
+
+// Pipeline is the functional tick-to-trade path (paper Fig. 2b / Fig. 4b):
+// market-data packet → SBE parse → local book update → offload engine →
+// DNN inference → trading engine → order request. It runs the real DNN
+// forward pass in software — the accelerator latency model does not apply
+// here; this path exists so the system is a working trading stack, used by
+// the quickstart and live-wire examples and the integration tests.
+type Pipeline struct {
+	securityID int32
+	model      *nn.Model
+	offl       *offload.Engine
+	trader     *trading.Engine
+
+	// Local market-by-price book mirror: the HFT-side LOB of §II-A,
+	// reconstructed from incremental refresh messages.
+	bids      [lob.DepthLevels]lob.Level
+	asks      [lob.DepthLevels]lob.Level
+	lastTrade int64
+	seq       uint64
+	symbol    string
+
+	ticks      int
+	inferences int
+}
+
+// NewPipeline assembles the functional pipeline.
+func NewPipeline(symbol string, securityID int32, model *nn.Model, norm offload.Normalizer, tcfg trading.Config) (*Pipeline, error) {
+	trader, err := trading.NewEngine(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		securityID: securityID,
+		symbol:     symbol,
+		model:      model,
+		offl:       offload.NewEngine(norm, 64),
+		trader:     trader,
+	}, nil
+}
+
+// Trader exposes the trading engine (position, decision log).
+func (p *Pipeline) Trader() *trading.Engine { return p.trader }
+
+// Ticks returns how many book-updating events have been processed.
+func (p *Pipeline) Ticks() int { return p.ticks }
+
+// Inferences returns how many DNN forward passes have run.
+func (p *Pipeline) Inferences() int { return p.inferences }
+
+// Snapshot returns the current local book state.
+func (p *Pipeline) Snapshot(timeNanos int64) lob.Snapshot {
+	return lob.Snapshot{
+		Symbol: p.symbol, Seq: p.seq, TimeNanos: timeNanos,
+		Bids: p.bids, Asks: p.asks, LastTrade: p.lastTrade,
+	}
+}
+
+// OnPacket processes one market-data datagram end to end, returning any
+// order requests the trading engine generated.
+func (p *Pipeline) OnPacket(buf []byte) ([]exchange.Request, error) {
+	pkt, err := sbe.DecodePacket(buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: packet parse: %w", err)
+	}
+	return p.OnDecodedPacket(pkt)
+}
+
+// OnDecodedPacket processes an already-decoded packet (the arbitrated-feed
+// path, where mdclient has parsed and ordered the datagrams).
+func (p *Pipeline) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
+	var orders []exchange.Request
+	for _, msg := range pkt.Messages {
+		switch {
+		case msg.Incremental != nil:
+			// Only updates for this pipeline's instrument generate a tick;
+			// a shared channel carries other securities too.
+			if p.applyIncremental(msg.Incremental) == 0 {
+				continue
+			}
+			reqs, err := p.onTick(int64(msg.Incremental.TransactTime))
+			if err != nil {
+				return orders, err
+			}
+			orders = append(orders, reqs...)
+		case msg.Trade != nil:
+			if msg.Trade.SecurityID == p.securityID || msg.Trade.SecurityID == 0 {
+				p.lastTrade = msg.Trade.Price
+			}
+		case msg.Snapshot != nil:
+			if msg.Snapshot.SecurityID == p.securityID || msg.Snapshot.SecurityID == 0 {
+				p.applySnapshot(msg.Snapshot)
+			}
+		}
+	}
+	return orders, nil
+}
+
+// applyIncremental folds level updates into the local book mirror,
+// returning how many entries applied to this instrument.
+func (p *Pipeline) applyIncremental(m *sbe.IncrementalRefresh) int {
+	applied := 0
+	for _, e := range m.Entries {
+		if e.SecurityID != p.securityID && e.SecurityID != 0 {
+			continue
+		}
+		lvl := int(e.Level) - 1
+		if lvl < 0 || lvl >= lob.DepthLevels {
+			continue
+		}
+		side := &p.bids
+		if e.Entry == sbe.EntryAsk {
+			side = &p.asks
+		} else if e.Entry == sbe.EntryTrade {
+			continue
+		}
+		switch e.Action {
+		case sbe.ActionNew, sbe.ActionChange:
+			side[lvl] = lob.Level{Price: e.Price, Qty: int64(e.Qty)}
+		case sbe.ActionDelete:
+			side[lvl] = lob.Level{}
+		}
+		p.seq++
+		applied++
+	}
+	return applied
+}
+
+// applySnapshot replaces the local book from a full refresh.
+func (p *Pipeline) applySnapshot(m *sbe.SnapshotFullRefresh) {
+	p.bids = [lob.DepthLevels]lob.Level{}
+	p.asks = [lob.DepthLevels]lob.Level{}
+	for _, e := range m.Entries {
+		lvl := int(e.Level) - 1
+		if lvl < 0 || lvl >= lob.DepthLevels {
+			continue
+		}
+		l := lob.Level{Price: e.Price, Qty: int64(e.Qty)}
+		if e.Entry == sbe.EntryBid {
+			p.bids[lvl] = l
+		} else if e.Entry == sbe.EntryAsk {
+			p.asks[lvl] = l
+		}
+	}
+	p.seq++
+}
+
+// onTick pushes the post-update snapshot through offload → inference →
+// trading.
+func (p *Pipeline) onTick(timeNanos int64) ([]exchange.Request, error) {
+	p.ticks++
+	snap := p.Snapshot(timeNanos)
+	p.offl.Push(snap)
+	var orders []exchange.Request
+	for _, in := range p.offl.PopBatch(p.offl.Ready()) {
+		dir, conf, err := p.model.Predict(in.Tensor)
+		if err != nil {
+			return orders, fmt.Errorf("core: inference: %w", err)
+		}
+		p.inferences++
+		if req, ok := p.trader.OnPrediction(dir, conf, snap); ok {
+			orders = append(orders, req)
+		}
+	}
+	return orders, nil
+}
+
+// OnExecReport feeds an execution report back to the trading engine.
+func (p *Pipeline) OnExecReport(rep exchange.ExecReport) { p.trader.OnExec(rep) }

@@ -1,0 +1,377 @@
+// Package core integrates the LightTrader system (paper §III): the FPGA
+// trading pipeline, the offload engine queue, one or more CGRA AI
+// accelerators behind the C2C interconnect, and the proactive scheduler.
+// It provides two faces: System, the profiled-latency model driven by the
+// back-test simulator (internal/sim), and Pipeline (pipeline.go), the
+// functional packet→parse→book→infer→order path used by the live-wire
+// examples.
+package core
+
+import (
+	"fmt"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// SystemConfig configures a simulated LightTrader instance.
+type SystemConfig struct {
+	// Sched carries the hardware models and scheduling feature switches.
+	Sched sched.Config
+	// NumAccels is the accelerator count (1…16 in the paper's sweeps).
+	NumAccels int
+	// PrePipelineNanos is the FPGA trading-pipeline time before a tensor
+	// reaches the offload engine: packet parse, book update, feature
+	// packing (≈350 ns on the KU15P-class pipeline).
+	PrePipelineNanos int64
+	// MaxQueue bounds the offload-engine FIFO; arrivals beyond it evict
+	// the oldest tensor (stale-tensor management, §III-A). Zero means 64.
+	MaxQueue int
+}
+
+// DefaultPrePipelineNanos is the calibrated FPGA front-pipeline latency.
+const DefaultPrePipelineNanos = 350
+
+// DefaultPostPipelineNanos is the calibrated post-inference latency:
+// trading-engine decision plus order encoding and egress.
+const DefaultPostPipelineNanos = 310
+
+// accel is the runtime state of one AI accelerator.
+type accel struct {
+	state  cgra.DVFSState
+	busy   bool
+	doneAt int64
+	batch  []sim.Query
+	// retimes counts DVFS changes applied to the in-flight batch; the
+	// scheduler caps it to avoid switch-stall thrash (§III-D: "frequent
+	// changing in DVFS policy within a short time interval increases the
+	// risk of a power failure as well as the overall latency").
+	retimes int
+}
+
+// System is the simulated LightTrader appliance implementing
+// sim.SystemModel.
+type System struct {
+	cfg    SystemConfig
+	name   string
+	queue  []sim.Query
+	accels []accel
+
+	pending []sim.Completion
+	lastNow int64
+
+	energyJ      float64
+	lastEnergyAt int64
+	energyStart  bool
+	maxPowerW    float64
+}
+
+var _ sim.SystemModel = (*System)(nil)
+var _ sim.EnergyReporter = (*System)(nil)
+
+// NewSystem builds a LightTrader system model.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.NumAccels < 1 {
+		return nil, fmt.Errorf("core: need at least one accelerator, got %d", cfg.NumAccels)
+	}
+	if cfg.Sched.Kernel == nil {
+		return nil, fmt.Errorf("core: scheduler config carries no kernel")
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.PrePipelineNanos == 0 {
+		cfg.PrePipelineNanos = DefaultPrePipelineNanos
+	}
+	if cfg.Sched.PostProcessNanos == 0 {
+		cfg.Sched.PostProcessNanos = DefaultPostPipelineNanos
+	}
+	tag := "baseline"
+	switch {
+	case cfg.Sched.WorkloadScheduling && cfg.Sched.DVFSScheduling:
+		tag = "WS+DS"
+	case cfg.Sched.WorkloadScheduling:
+		tag = "WS"
+	case cfg.Sched.DVFSScheduling:
+		tag = "DS"
+	}
+	s := &System{
+		cfg: cfg,
+		name: fmt.Sprintf("LightTrader[%s,N=%d,%s]",
+			cfg.Sched.Kernel.ModelName, cfg.NumAccels, tag),
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Name implements sim.SystemModel.
+func (s *System) Name() string { return s.name }
+
+// Reset implements sim.SystemModel.
+func (s *System) Reset() {
+	s.queue = s.queue[:0]
+	s.accels = make([]accel, s.cfg.NumAccels)
+	start := s.startState()
+	for i := range s.accels {
+		s.accels[i].state = start
+	}
+	s.pending = nil
+	s.lastNow = 0
+	s.energyJ = 0
+	s.lastEnergyAt = 0
+	s.energyStart = false
+	s.maxPowerW = 0
+}
+
+// MaxObservedPowerWatts returns the highest instantaneous accelerator draw
+// seen since Reset — the quantity the card's power budget constrains.
+func (s *System) MaxObservedPowerWatts() float64 { return s.maxPowerW }
+
+// startState is the operating point accelerators boot into: the static
+// Table III point without DVFS scheduling, the lowest state with it (DS
+// parks idle accelerators at the power floor).
+func (s *System) startState() cgra.DVFSState {
+	if s.cfg.Sched.DVFSScheduling {
+		return s.cfg.Sched.Spec.DVFSTable()[0]
+	}
+	return s.cfg.Sched.StaticDVFS
+}
+
+// EnergyJoules implements sim.EnergyReporter.
+func (s *System) EnergyJoules() float64 { return s.energyJ }
+
+// accrueEnergy integrates accelerator power up to now.
+func (s *System) accrueEnergy(now int64) {
+	if !s.energyStart {
+		s.lastEnergyAt = now
+		s.energyStart = true
+		return
+	}
+	dt := float64(now-s.lastEnergyAt) / 1e9
+	var watts float64
+	for i := range s.accels {
+		a := &s.accels[i]
+		if a.busy {
+			watts += s.cfg.Sched.BusyPower(a.state)
+		} else {
+			watts += s.cfg.Sched.Spec.IdlePower(a.state)
+		}
+	}
+	if watts > s.maxPowerW {
+		s.maxPowerW = watts
+	}
+	if dt <= 0 {
+		return
+	}
+	s.energyJ += watts * dt
+	s.lastEnergyAt = now
+}
+
+// OnArrival implements sim.SystemModel.
+func (s *System) OnArrival(now int64, q sim.Query) {
+	s.accrueEnergy(now)
+	s.lastNow = now
+	if len(s.queue) >= s.cfg.MaxQueue {
+		// Stale-tensor management: evict the oldest feature map.
+		s.pending = append(s.pending, sim.Completion{Query: s.queue[0], Dropped: true})
+		s.queue = s.queue[1:]
+	}
+	s.queue = append(s.queue, q)
+	s.schedule(now)
+}
+
+// NextEventTime implements sim.SystemModel.
+func (s *System) NextEventTime() int64 {
+	if len(s.pending) > 0 {
+		return s.lastNow
+	}
+	next := int64(sim.NoEvent)
+	for i := range s.accels {
+		if s.accels[i].busy && s.accels[i].doneAt < next {
+			next = s.accels[i].doneAt
+		}
+	}
+	return next
+}
+
+// Advance implements sim.SystemModel.
+func (s *System) Advance(now int64) []sim.Completion {
+	s.accrueEnergy(now)
+	s.lastNow = now
+	out := s.pending
+	s.pending = nil
+	for i := range s.accels {
+		a := &s.accels[i]
+		if a.busy && a.doneAt <= now {
+			for _, q := range a.batch {
+				out = append(out, sim.Completion{Query: q, DoneNanos: a.doneAt, Batch: len(a.batch)})
+			}
+			a.busy = false
+			a.batch = nil
+			if s.cfg.Sched.DVFSScheduling {
+				// Park the idle accelerator at the power floor.
+				a.state = s.cfg.Sched.Spec.DVFSTable()[0]
+			}
+		}
+	}
+	s.schedule(now)
+	return out
+}
+
+// drawOf returns accelerator i's present power draw.
+func (s *System) drawOf(i int) float64 {
+	a := &s.accels[i]
+	if a.busy {
+		return s.cfg.Sched.BusyPower(a.state)
+	}
+	return s.cfg.Sched.Spec.IdlePower(a.state)
+}
+
+// powerAvailExcluding returns the unallocated budget if accelerator skip's
+// draw is excluded (it is about to change state).
+func (s *System) powerAvailExcluding(skip int) float64 {
+	var used float64
+	for i := range s.accels {
+		if i != skip {
+			used += s.drawOf(i)
+		}
+	}
+	return s.cfg.Sched.PowerBudgetWatts - used
+}
+
+// busyViews builds Algorithm 2's view of the non-idle accelerators.
+func (s *System) busyViews(now int64) []sched.BusyAccel {
+	var views []sched.BusyAccel
+	for i := range s.accels {
+		a := &s.accels[i]
+		if !a.busy {
+			continue
+		}
+		minDeadline := a.batch[0].DeadlineNanos
+		for _, q := range a.batch[1:] {
+			if q.DeadlineNanos < minDeadline {
+				minDeadline = q.DeadlineNanos
+			}
+		}
+		views = append(views, sched.BusyAccel{
+			ID:             i,
+			DVFS:           a.state,
+			Batch:          len(a.batch),
+			SlackNanos:     minDeadline - a.doneAt,
+			RemainingNanos: a.doneAt - now,
+		})
+	}
+	return views
+}
+
+// applyDVFS retimes a busy accelerator to a new state at now: the remaining
+// work stalls for the switch delay and then proceeds scaled by the
+// frequency ratio. (The small fixed-time C2C/post share of the remaining
+// work is scaled along with it; it is ≪1% of t_total.)
+func (s *System) applyDVFS(i int, d cgra.DVFSState, now int64) {
+	a := &s.accels[i]
+	if a.state == d {
+		return
+	}
+	if a.busy {
+		remaining := a.doneAt - now
+		if remaining < 0 {
+			remaining = 0
+		}
+		scaled := int64(float64(remaining) * a.state.FreqGHz / d.FreqGHz)
+		a.doneAt = now + s.cfg.Sched.Spec.DVFSSwitchNanos + scaled
+		a.retimes++
+	}
+	a.state = d
+}
+
+// schedule runs the proactive scheduler: Algorithm 1 issues to idle
+// accelerators (with Algorithm 2's power-saving step as a retry path when
+// an issue fails on power), then Algorithm 2 redistributes residual budget.
+// DVFS actions are rate-limited ("the HFT system carefully uses DVFS",
+// §III-D): each in-flight batch is retimed at most once, and only when
+// enough work remains to amortise the switch stall.
+func (s *System) schedule(now int64) {
+	cfg := &s.cfg.Sched
+	for i := range s.accels {
+		a := &s.accels[i]
+		if a.busy {
+			continue
+		}
+		savedPower := false
+		for len(s.queue) > 0 {
+			oldest := s.queue[0]
+			avail := oldest.Remaining(now) - s.cfg.PrePipelineNanos
+			issue, ok := sched.PickIssue(cfg, len(s.queue), avail, s.powerAvailExcluding(i), a.state)
+			if !ok && cfg.DVFSScheduling && !savedPower {
+				// Saving step: scale busy accelerators down within their
+				// deadline slack to make room, then retry once. A power
+				// emergency may retime a batch a second time.
+				savedPower = true
+				if changes := sched.SavePower(cfg, s.busyViews(now)); len(changes) > 0 {
+					for _, ch := range changes {
+						s.applyDVFS(ch.ID, ch.DVFS, now)
+					}
+					continue
+				}
+			}
+			if !ok {
+				// Defer the oldest tensor to the conventional pipeline.
+				s.pending = append(s.pending, sim.Completion{Query: oldest, Dropped: true})
+				s.queue = s.queue[1:]
+				continue
+			}
+			batch := make([]sim.Query, issue.Batch)
+			copy(batch, s.queue[:issue.Batch])
+			s.queue = s.queue[issue.Batch:]
+			a.busy = true
+			a.batch = batch
+			a.state = issue.DVFS
+			a.retimes = 0
+			a.doneAt = now + s.cfg.PrePipelineNanos + issue.TotalNanos
+			break
+		}
+	}
+	if cfg.DVFSScheduling {
+		// Redistribute the residual budget across busy accelerators,
+		// reserving enough headroom for the idle accelerators to pick up
+		// queued work at the floor state.
+		views := s.retimableViews(now)
+		if len(views) > 0 {
+			var used float64
+			idle := 0
+			for i := range s.accels {
+				used += s.drawOf(i)
+				if !s.accels[i].busy {
+					idle++
+				}
+			}
+			pending := len(s.queue)
+			if idle > pending {
+				idle = pending
+			}
+			floor := cfg.Spec.DVFSTable()[0]
+			reserve := float64(idle) * (cfg.BusyPower(floor) - cfg.Spec.IdlePower(floor))
+			avail := s.cfg.Sched.PowerBudgetWatts - used - reserve
+			for _, ch := range sched.Redistribute(cfg, views, avail) {
+				s.applyDVFS(ch.ID, ch.DVFS, now)
+			}
+		}
+	}
+}
+
+// retimableViews returns the busy accelerators still eligible for a DVFS
+// change: not yet retimed this batch and with enough remaining work to
+// amortise the switch stall.
+func (s *System) retimableViews(now int64) []sched.BusyAccel {
+	views := s.busyViews(now)
+	amortise := 4 * s.cfg.Sched.Spec.DVFSSwitchNanos
+	filtered := views[:0]
+	for _, v := range views {
+		if s.accels[v.ID].retimes == 0 && v.RemainingNanos > amortise {
+			filtered = append(filtered, v)
+		}
+	}
+	return filtered
+}

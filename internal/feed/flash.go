@@ -1,0 +1,53 @@
+package feed
+
+import "math/rand"
+
+// FlashParams describes rare flash events (paper §II-C: sub-second market
+// disruptions occur "more than once a day" and concentrate enormous tick
+// rates): flash windows arrive as a Poisson process and, while active, emit
+// ticks as a homogeneous Poisson stream at RateHz — far above any single
+// system's service capacity.
+type FlashParams struct {
+	// MeanIntervalSecs is the mean gap between flash windows.
+	MeanIntervalSecs float64
+	// DurationSecs is each window's length.
+	DurationSecs float64
+	// RateHz is the tick rate inside a window.
+	RateHz float64
+}
+
+// FlashProcess implements ArrivalProcess for FlashParams.
+type FlashProcess struct {
+	p   FlashParams
+	rng *rand.Rand
+	// current window bounds in seconds; next event time in seconds.
+	winEnd float64
+	next   float64
+}
+
+// NewFlash returns a deterministic flash-event process.
+func NewFlash(p FlashParams, seed int64) *FlashProcess {
+	if p.MeanIntervalSecs <= 0 || p.DurationSecs <= 0 || p.RateHz <= 0 {
+		panic("feed: invalid flash parameters")
+	}
+	f := &FlashProcess{p: p, rng: rand.New(rand.NewSource(seed))}
+	f.startWindow(0)
+	return f
+}
+
+// startWindow schedules the next flash window at or after t.
+func (f *FlashProcess) startWindow(t float64) {
+	start := t + f.rng.ExpFloat64()*f.p.MeanIntervalSecs
+	f.winEnd = start + f.p.DurationSecs
+	f.next = start + f.rng.ExpFloat64()/f.p.RateHz
+}
+
+// NextNanos implements ArrivalProcess.
+func (f *FlashProcess) NextNanos() int64 {
+	for f.next >= f.winEnd {
+		f.startWindow(f.winEnd)
+	}
+	t := f.next
+	f.next += f.rng.ExpFloat64() / f.p.RateHz
+	return int64(t * 1e9)
+}

@@ -1,0 +1,455 @@
+// Package lob implements a price-time priority limit order book.
+//
+// The book is the canonical representation of market state in the LightTrader
+// pipeline (paper §II-A): bids and asks are kept per price level, orders at a
+// level are filled in arrival order, and the top N levels are exported as
+// fixed-size snapshots that feed the DNN offload engine.
+//
+// Prices are integer ticks and quantities are integer lots so that book
+// arithmetic is exact; conversion to decimal happens only at the protocol
+// boundary (package sbe / orderentry).
+package lob
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Side distinguishes the bid (buy) and ask (sell) sides of the book.
+type Side uint8
+
+const (
+	// Bid is the buy side: higher prices are more aggressive.
+	Bid Side = iota
+	// Ask is the sell side: lower prices are more aggressive.
+	Ask
+)
+
+// Opposite returns the other side.
+func (s Side) Opposite() Side {
+	if s == Bid {
+		return Ask
+	}
+	return Bid
+}
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case Bid:
+		return "bid"
+	case Ask:
+		return "ask"
+	default:
+		return fmt.Sprintf("Side(%d)", uint8(s))
+	}
+}
+
+// Order is a resting limit order.
+type Order struct {
+	ID    uint64
+	Side  Side
+	Price int64 // price in ticks
+	Qty   int64 // remaining quantity in lots
+}
+
+// Level aggregates the resting orders at one price.
+type Level struct {
+	Price  int64
+	Qty    int64 // total resting quantity
+	Orders int   // number of resting orders
+}
+
+// Fill reports a match between an incoming order and a resting order.
+type Fill struct {
+	MakerID uint64 // resting order
+	TakerID uint64 // incoming order
+	Price   int64  // execution price (maker's price)
+	Qty     int64
+	// TakerSide is the side of the incoming (aggressing) order.
+	TakerSide Side
+}
+
+// Errors returned by book mutations.
+var (
+	ErrUnknownOrder = errors.New("lob: unknown order id")
+	ErrDuplicateID  = errors.New("lob: duplicate order id")
+	ErrBadQty       = errors.New("lob: quantity must be positive")
+	ErrBadPrice     = errors.New("lob: price must be positive")
+)
+
+// queue is the FIFO of orders resting at one price level.
+type queue struct {
+	price  int64
+	orders []*Order // arrival order; filled from the front
+	qty    int64
+}
+
+// Book is a single-instrument limit order book with price-time priority.
+// It is not safe for concurrent use; the trading pipeline owns one book per
+// subscribed symbol and mutates it from a single goroutine, mirroring the
+// single-threaded FPGA book-update stage.
+type Book struct {
+	symbol string
+
+	bids map[int64]*queue // price -> level queue
+	asks map[int64]*queue
+
+	// Sorted price arrays for best-price lookup. bidPrices is descending,
+	// askPrices ascending, so index 0 is always the top of book.
+	bidPrices []int64
+	askPrices []int64
+
+	byID map[uint64]*Order
+
+	lastTrade int64 // last execution price, 0 until first trade
+	seq       uint64
+}
+
+// New returns an empty book for symbol.
+func New(symbol string) *Book {
+	return &Book{
+		symbol: symbol,
+		bids:   make(map[int64]*queue),
+		asks:   make(map[int64]*queue),
+		byID:   make(map[uint64]*Order),
+	}
+}
+
+// Symbol returns the instrument this book tracks.
+func (b *Book) Symbol() string { return b.symbol }
+
+// Seq returns the number of successful mutations applied to the book. It is
+// used as the book-update sequence number in market-data publication.
+func (b *Book) Seq() uint64 { return b.seq }
+
+// LastTrade returns the most recent execution price, or 0 if none.
+func (b *Book) LastTrade() int64 { return b.lastTrade }
+
+// side returns the map and sorted prices for s.
+func (b *Book) side(s Side) map[int64]*queue {
+	if s == Bid {
+		return b.bids
+	}
+	return b.asks
+}
+
+// insertPrice records a newly populated price level in sorted order.
+func (b *Book) insertPrice(s Side, price int64) {
+	if s == Bid {
+		i := sort.Search(len(b.bidPrices), func(i int) bool { return b.bidPrices[i] <= price })
+		if i < len(b.bidPrices) && b.bidPrices[i] == price {
+			return
+		}
+		b.bidPrices = append(b.bidPrices, 0)
+		copy(b.bidPrices[i+1:], b.bidPrices[i:])
+		b.bidPrices[i] = price
+		return
+	}
+	i := sort.Search(len(b.askPrices), func(i int) bool { return b.askPrices[i] >= price })
+	if i < len(b.askPrices) && b.askPrices[i] == price {
+		return
+	}
+	b.askPrices = append(b.askPrices, 0)
+	copy(b.askPrices[i+1:], b.askPrices[i:])
+	b.askPrices[i] = price
+}
+
+// removePrice drops an emptied price level.
+func (b *Book) removePrice(s Side, price int64) {
+	prices := &b.bidPrices
+	cmp := func(i int) bool { return b.bidPrices[i] <= price }
+	if s == Ask {
+		prices = &b.askPrices
+		cmp = func(i int) bool { return b.askPrices[i] >= price }
+	}
+	i := sort.Search(len(*prices), cmp)
+	if i < len(*prices) && (*prices)[i] == price {
+		*prices = append((*prices)[:i], (*prices)[i+1:]...)
+	}
+}
+
+// BestBid returns the highest bid level, or false if the bid side is empty.
+func (b *Book) BestBid() (Level, bool) {
+	if len(b.bidPrices) == 0 {
+		return Level{}, false
+	}
+	q := b.bids[b.bidPrices[0]]
+	return Level{Price: q.price, Qty: q.qty, Orders: len(q.orders)}, true
+}
+
+// BestAsk returns the lowest ask level, or false if the ask side is empty.
+func (b *Book) BestAsk() (Level, bool) {
+	if len(b.askPrices) == 0 {
+		return Level{}, false
+	}
+	q := b.asks[b.askPrices[0]]
+	return Level{Price: q.price, Qty: q.qty, Orders: len(q.orders)}, true
+}
+
+// Mid returns the midpoint of the best bid and ask in half-ticks (price*2
+// would be exact; we return a float for convenience) and false when either
+// side is empty.
+func (b *Book) Mid() (float64, bool) {
+	bb, okB := b.BestBid()
+	ba, okA := b.BestAsk()
+	if !okB || !okA {
+		return 0, false
+	}
+	return float64(bb.Price+ba.Price) / 2, true
+}
+
+// Spread returns best ask minus best bid and false when either side is empty.
+func (b *Book) Spread() (int64, bool) {
+	bb, okB := b.BestBid()
+	ba, okA := b.BestAsk()
+	if !okB || !okA {
+		return 0, false
+	}
+	return ba.Price - bb.Price, true
+}
+
+// Depth returns the number of populated price levels on side s.
+func (b *Book) Depth(s Side) int {
+	if s == Bid {
+		return len(b.bidPrices)
+	}
+	return len(b.askPrices)
+}
+
+// Order returns a copy of the resting order with the given id.
+func (b *Book) Order(id uint64) (Order, bool) {
+	o, ok := b.byID[id]
+	if !ok {
+		return Order{}, false
+	}
+	return *o, true
+}
+
+// Add places a limit order. If the order crosses the opposite side it is
+// matched immediately (price-time priority, maker price); any remainder
+// rests. The returned fills are in execution order.
+func (b *Book) Add(id uint64, side Side, price, qty int64) ([]Fill, error) {
+	if qty <= 0 {
+		return nil, ErrBadQty
+	}
+	if price <= 0 {
+		return nil, ErrBadPrice
+	}
+	if _, dup := b.byID[id]; dup {
+		return nil, ErrDuplicateID
+	}
+	b.seq++
+	fills := b.match(id, side, price, &qty)
+	if qty > 0 {
+		o := &Order{ID: id, Side: side, Price: price, Qty: qty}
+		b.byID[id] = o
+		m := b.side(side)
+		q := m[price]
+		if q == nil {
+			q = &queue{price: price}
+			m[price] = q
+			b.insertPrice(side, price)
+		}
+		q.orders = append(q.orders, o)
+		q.qty += qty
+	}
+	return fills, nil
+}
+
+// match executes an incoming order against the opposite side while prices
+// cross, decrementing *qty in place.
+func (b *Book) match(takerID uint64, side Side, price int64, qty *int64) []Fill {
+	var fills []Fill
+	opp := b.side(side.Opposite())
+	for *qty > 0 {
+		var best int64
+		if side == Bid {
+			if len(b.askPrices) == 0 || b.askPrices[0] > price {
+				break
+			}
+			best = b.askPrices[0]
+		} else {
+			if len(b.bidPrices) == 0 || b.bidPrices[0] < price {
+				break
+			}
+			best = b.bidPrices[0]
+		}
+		q := opp[best]
+		for *qty > 0 && len(q.orders) > 0 {
+			maker := q.orders[0]
+			ex := maker.Qty
+			if *qty < ex {
+				ex = *qty
+			}
+			maker.Qty -= ex
+			q.qty -= ex
+			*qty -= ex
+			b.lastTrade = best
+			fills = append(fills, Fill{
+				MakerID: maker.ID, TakerID: takerID,
+				Price: best, Qty: ex, TakerSide: side,
+			})
+			if maker.Qty == 0 {
+				q.orders = q.orders[1:]
+				delete(b.byID, maker.ID)
+			}
+		}
+		if len(q.orders) == 0 {
+			delete(opp, best)
+			b.removePrice(side.Opposite(), best)
+		}
+	}
+	return fills
+}
+
+// Cancel removes a resting order.
+func (b *Book) Cancel(id uint64) error {
+	o, ok := b.byID[id]
+	if !ok {
+		return ErrUnknownOrder
+	}
+	b.seq++
+	b.unlink(o)
+	return nil
+}
+
+// unlink removes o from its level queue and the id index.
+func (b *Book) unlink(o *Order) {
+	m := b.side(o.Side)
+	q := m[o.Price]
+	for i, r := range q.orders {
+		if r.ID == o.ID {
+			q.orders = append(q.orders[:i], q.orders[i+1:]...)
+			break
+		}
+	}
+	q.qty -= o.Qty
+	if len(q.orders) == 0 {
+		delete(m, o.Price)
+		b.removePrice(o.Side, o.Price)
+	}
+	delete(b.byID, o.ID)
+}
+
+// Replace atomically cancels id and places a new order with newID at the new
+// price/qty, losing time priority (CME semantics for price or qty-up
+// changes). It returns any fills produced by the replacement order.
+func (b *Book) Replace(id, newID uint64, price, qty int64) ([]Fill, error) {
+	o, ok := b.byID[id]
+	if !ok {
+		return nil, ErrUnknownOrder
+	}
+	if qty <= 0 {
+		return nil, ErrBadQty
+	}
+	if price <= 0 {
+		return nil, ErrBadPrice
+	}
+	if _, dup := b.byID[newID]; dup && newID != id {
+		return nil, ErrDuplicateID
+	}
+	side := o.Side
+	b.seq++
+	b.unlink(o)
+	b.seq-- // Add below will bump it; count replace as one mutation
+	return b.Add(newID, side, price, qty)
+}
+
+// Reduce decreases the remaining quantity of a resting order in place,
+// preserving time priority (CME semantics for qty-down changes). If the
+// reduction reaches zero the order is removed.
+func (b *Book) Reduce(id uint64, by int64) error {
+	if by <= 0 {
+		return ErrBadQty
+	}
+	o, ok := b.byID[id]
+	if !ok {
+		return ErrUnknownOrder
+	}
+	b.seq++
+	if by >= o.Qty {
+		b.unlink(o)
+		return nil
+	}
+	o.Qty -= by
+	b.side(o.Side)[o.Price].qty -= by
+	return nil
+}
+
+// Levels returns up to n aggregated levels from the top of side s, best
+// first.
+func (b *Book) Levels(s Side, n int) []Level {
+	prices := b.bidPrices
+	m := b.bids
+	if s == Ask {
+		prices = b.askPrices
+		m = b.asks
+	}
+	if n > len(prices) {
+		n = len(prices)
+	}
+	out := make([]Level, 0, n)
+	for _, p := range prices[:n] {
+		q := m[p]
+		out = append(out, Level{Price: p, Qty: q.qty, Orders: len(q.orders)})
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency; it is used by tests and the
+// property-based suite. It returns a descriptive error on the first
+// violation found.
+func (b *Book) CheckInvariants() error {
+	// Book must not be crossed.
+	if len(b.bidPrices) > 0 && len(b.askPrices) > 0 && b.bidPrices[0] >= b.askPrices[0] {
+		return fmt.Errorf("lob: crossed book bid %d >= ask %d", b.bidPrices[0], b.askPrices[0])
+	}
+	// Sorted price arrays must match the maps exactly.
+	for i := 1; i < len(b.bidPrices); i++ {
+		if b.bidPrices[i-1] <= b.bidPrices[i] {
+			return fmt.Errorf("lob: bid prices not strictly descending at %d", i)
+		}
+	}
+	for i := 1; i < len(b.askPrices); i++ {
+		if b.askPrices[i-1] >= b.askPrices[i] {
+			return fmt.Errorf("lob: ask prices not strictly ascending at %d", i)
+		}
+	}
+	if len(b.bidPrices) != len(b.bids) || len(b.askPrices) != len(b.asks) {
+		return fmt.Errorf("lob: price index size mismatch")
+	}
+	count := 0
+	for side, m := range map[Side]map[int64]*queue{Bid: b.bids, Ask: b.asks} {
+		for p, q := range m {
+			if q.price != p {
+				return fmt.Errorf("lob: level keyed %d holds price %d", p, q.price)
+			}
+			if len(q.orders) == 0 {
+				return fmt.Errorf("lob: empty level %d retained", p)
+			}
+			var sum int64
+			for _, o := range q.orders {
+				if o.Side != side {
+					return fmt.Errorf("lob: order %d on wrong side", o.ID)
+				}
+				if o.Qty <= 0 {
+					return fmt.Errorf("lob: order %d non-positive qty %d", o.ID, o.Qty)
+				}
+				if b.byID[o.ID] != o {
+					return fmt.Errorf("lob: order %d not indexed", o.ID)
+				}
+				sum += o.Qty
+				count++
+			}
+			if sum != q.qty {
+				return fmt.Errorf("lob: level %d qty %d != sum %d", p, q.qty, sum)
+			}
+		}
+	}
+	if count != len(b.byID) {
+		return fmt.Errorf("lob: id index holds %d orders, book holds %d", len(b.byID), count)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package mdclient implements the subscriber side of the market-data feed:
+// arbitration of the redundant A/B UDP channels a real venue publishes,
+// duplicate suppression, sequence-gap detection with bounded reordering,
+// and snapshot-based recovery — the machinery between the paper's
+// "Ethernet/UDP module" and its packet parser that makes the local book
+// trustworthy on a lossy feed.
+package mdclient
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lighttrader/internal/sbe"
+)
+
+// Stats counts arbitration events since construction.
+type Stats struct {
+	Delivered  int // packets handed to the consumer, in order
+	Duplicates int // suppressed A/B duplicates and replays
+	Buffered   int // out-of-order packets parked for reordering
+	Gaps       int // unrecoverable gaps that triggered recovery
+	Recoveries int // snapshot recoveries completed
+}
+
+// Arbiter merges redundant datagram streams into one in-order packet
+// stream. It is not safe for concurrent use; callers funnel both feeds
+// into one goroutine (as the FPGA's single ingress pipeline does).
+type Arbiter struct {
+	deliver func(sbe.Packet)
+
+	nextSeq    uint32
+	synced     bool
+	recovering bool
+
+	// pending parks packets ahead of the expected sequence, keyed by seq.
+	pending map[uint32]sbe.Packet
+	// maxPending bounds the reorder buffer; exceeding it declares a gap.
+	maxPending int
+
+	stats Stats
+}
+
+// ErrBadDatagram wraps datagram decode failures.
+var ErrBadDatagram = errors.New("mdclient: bad datagram")
+
+// New builds an arbiter delivering in-order packets to the consumer.
+// maxPending ≤ 0 selects the default reorder window of 16 packets.
+func New(deliver func(sbe.Packet), maxPending int) *Arbiter {
+	if deliver == nil {
+		panic("mdclient: nil deliver")
+	}
+	if maxPending <= 0 {
+		maxPending = 16
+	}
+	return &Arbiter{
+		deliver:    deliver,
+		pending:    make(map[uint32]sbe.Packet),
+		maxPending: maxPending,
+	}
+}
+
+// Stats returns arbitration counters.
+func (a *Arbiter) Stats() Stats { return a.stats }
+
+// Recovering reports whether the arbiter has declared a gap and is waiting
+// for a snapshot.
+func (a *Arbiter) Recovering() bool { return a.recovering }
+
+// OnDatagram ingests one datagram from either feed.
+func (a *Arbiter) OnDatagram(buf []byte) error {
+	pkt, err := sbe.DecodePacket(buf)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDatagram, err)
+	}
+	a.onPacket(pkt)
+	return nil
+}
+
+// onPacket applies arbitration rules to a decoded packet.
+func (a *Arbiter) onPacket(pkt sbe.Packet) {
+	// A snapshot resynchronises regardless of state: expected sequence
+	// becomes the snapshot's LastMsgSeqNum+1.
+	if snap := findSnapshot(pkt); snap != nil {
+		if a.recovering || !a.synced {
+			a.synced = true
+			if a.recovering {
+				a.recovering = false
+				a.stats.Recoveries++
+			}
+			a.nextSeq = snap.LastMsgSeqNum + 1
+			a.stats.Delivered++
+			a.deliver(pkt)
+			a.drainPending()
+			return
+		}
+		// Periodic snapshot while synced: deliver only if it is the next
+		// expected packet; otherwise treat as a duplicate refresh.
+		if pkt.SeqNum == a.nextSeq {
+			a.nextSeq++
+			a.stats.Delivered++
+			a.deliver(pkt)
+			a.drainPending()
+			return
+		}
+		a.stats.Duplicates++
+		return
+	}
+
+	if !a.synced {
+		// First incremental packet defines the stream origin.
+		a.synced = true
+		a.nextSeq = pkt.SeqNum
+	}
+	switch {
+	case pkt.SeqNum < a.nextSeq:
+		a.stats.Duplicates++ // A/B duplicate or replay
+	case pkt.SeqNum == a.nextSeq:
+		a.nextSeq++
+		a.stats.Delivered++
+		a.deliver(pkt)
+		a.drainPending()
+	default: // ahead: park for reordering
+		if _, dup := a.pending[pkt.SeqNum]; dup {
+			a.stats.Duplicates++
+			return
+		}
+		if a.recovering {
+			// Buffer while waiting for the snapshot, bounded.
+			if len(a.pending) < a.maxPending {
+				a.pending[pkt.SeqNum] = pkt
+				a.stats.Buffered++
+			}
+			return
+		}
+		a.pending[pkt.SeqNum] = pkt
+		a.stats.Buffered++
+		if len(a.pending) >= a.maxPending {
+			// The missing packet is not coming: declare a gap and wait
+			// for snapshot recovery.
+			a.recovering = true
+			a.stats.Gaps++
+		}
+	}
+}
+
+// drainPending delivers consecutively buffered packets.
+func (a *Arbiter) drainPending() {
+	for {
+		pkt, ok := a.pending[a.nextSeq]
+		if !ok {
+			break
+		}
+		delete(a.pending, a.nextSeq)
+		a.nextSeq++
+		a.stats.Delivered++
+		a.deliver(pkt)
+	}
+	// Drop stale entries below the watermark (superseded by recovery).
+	if len(a.pending) > 0 {
+		var stale []uint32
+		for seq := range a.pending {
+			if seq < a.nextSeq {
+				stale = append(stale, seq)
+			}
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+		for _, seq := range stale {
+			delete(a.pending, seq)
+			a.stats.Duplicates++
+		}
+	}
+}
+
+// findSnapshot returns the packet's snapshot message, if any.
+func findSnapshot(pkt sbe.Packet) *sbe.SnapshotFullRefresh {
+	for _, m := range pkt.Messages {
+		if m.Snapshot != nil {
+			return m.Snapshot
+		}
+	}
+	return nil
+}

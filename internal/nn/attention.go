@@ -1,0 +1,292 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// LayerNorm normalises each row of a [T,D] sequence to zero mean and unit
+// variance, then applies a learned affine transform.
+type LayerNorm struct {
+	Dim   int
+	gamma []float32
+	beta  []float32
+}
+
+// NewLayerNorm constructs a layer norm over feature dimension dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := make([]float32, dim)
+	for i := range g {
+		g[i] = 1
+	}
+	return &LayerNorm{Dim: dim, gamma: g, beta: make([]float32, dim)}
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return fmt.Sprintf("layernorm(%d)", l.Dim) }
+
+// OutShape implements Layer.
+func (l *LayerNorm) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != l.Dim {
+		return nil, fmt.Errorf("nn: %s expects [T,%d], got %v", l.Name(), l.Dim, in)
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if _, err := l.OutShape(x.Shape()); err != nil {
+		panic(err)
+	}
+	T := x.Dim(0)
+	out := tensor.New(T, l.Dim)
+	const eps = 1e-5
+	for t := 0; t < T; t++ {
+		row := x.Data()[t*l.Dim : (t+1)*l.Dim]
+		orow := out.Data()[t*l.Dim : (t+1)*l.Dim]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(l.Dim)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(l.Dim)
+		inv := 1 / math.Sqrt(variance+eps)
+		for i, v := range row {
+			orow[i] = l.gamma[i]*float32((float64(v)-mean)*inv) + l.beta[i]
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (l *LayerNorm) FLOPs(in []int) int64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return int64(in[0]) * int64(l.Dim) * 8
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() int64 { return 2 * int64(l.Dim) }
+
+// Init implements Layer.
+func (l *LayerNorm) Init(*rand.Rand) {
+	for i := range l.gamma {
+		l.gamma[i] = 1
+		l.beta[i] = 0
+	}
+}
+
+// PositionalEncoding adds fixed sinusoidal position information to a [T,D]
+// sequence (Vaswani et al.), as TransLOB does before its transformer stack.
+type PositionalEncoding struct{}
+
+// Name implements Layer.
+func (PositionalEncoding) Name() string { return "posenc" }
+
+// OutShape implements Layer.
+func (PositionalEncoding) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("nn: posenc expects rank 2, got %v", in)
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	T, D := x.Dim(0), x.Dim(1)
+	out := x.Clone()
+	for t := 0; t < T; t++ {
+		for i := 0; i < D; i++ {
+			angle := float64(t) / math.Pow(10000, float64(2*(i/2))/float64(D))
+			var pe float64
+			if i%2 == 0 {
+				pe = math.Sin(angle)
+			} else {
+				pe = math.Cos(angle)
+			}
+			out.Data()[t*D+i] += float32(pe)
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (PositionalEncoding) FLOPs(in []int) int64 { return int64(prod(in)) }
+
+// Params implements Layer.
+func (PositionalEncoding) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (PositionalEncoding) Init(*rand.Rand) {}
+
+// TransformerBlock is a pre-norm transformer encoder block: LN → multi-head
+// self-attention → residual, then LN → 2-layer feed-forward → residual.
+type TransformerBlock struct {
+	Dim, Heads, FF int
+
+	ln1, ln2       *LayerNorm
+	wq, wk, wv, wo *tensor.Tensor // [Dim, Dim]
+	ff1            *Dense
+	ff2            *Dense
+	attnScale      float32
+	headDim        int
+	bq, bk, bv, bo []float32
+}
+
+// NewTransformerBlock constructs a block; dim must be divisible by heads.
+func NewTransformerBlock(dim, heads, ff int) *TransformerBlock {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &TransformerBlock{
+		Dim: dim, Heads: heads, FF: ff,
+		ln1: NewLayerNorm(dim), ln2: NewLayerNorm(dim),
+		wq: tensor.New(dim, dim), wk: tensor.New(dim, dim),
+		wv: tensor.New(dim, dim), wo: tensor.New(dim, dim),
+		bq: make([]float32, dim), bk: make([]float32, dim),
+		bv: make([]float32, dim), bo: make([]float32, dim),
+		ff1:       NewDense(dim, ff, ActReLU),
+		ff2:       NewDense(ff, dim, ActNone),
+		attnScale: float32(1 / math.Sqrt(float64(dim/heads))),
+		headDim:   dim / heads,
+	}
+}
+
+// Name implements Layer.
+func (b *TransformerBlock) Name() string {
+	return fmt.Sprintf("transformer(d%d,h%d,ff%d)", b.Dim, b.Heads, b.FF)
+}
+
+// OutShape implements Layer.
+func (b *TransformerBlock) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != b.Dim {
+		return nil, fmt.Errorf("nn: %s expects [T,%d], got %v", b.Name(), b.Dim, in)
+	}
+	return in, nil
+}
+
+// project computes x·Wᵀ + b for a [T,D] input and [D,D] weight.
+func (b *TransformerBlock) project(x, w *tensor.Tensor, bias []float32) *tensor.Tensor {
+	T := x.Dim(0)
+	out := tensor.New(T, b.Dim)
+	wf := w.Data()
+	for t := 0; t < T; t++ {
+		row := x.Data()[t*b.Dim : (t+1)*b.Dim]
+		orow := out.Data()[t*b.Dim : (t+1)*b.Dim]
+		for o := 0; o < b.Dim; o++ {
+			sum := bias[o]
+			wrow := wf[o*b.Dim : (o+1)*b.Dim]
+			for i, v := range row {
+				sum += wrow[i] * v
+			}
+			orow[o] = sum
+		}
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if _, err := b.OutShape(x.Shape()); err != nil {
+		panic(err)
+	}
+	T := x.Dim(0)
+	// Self-attention sublayer.
+	n := b.ln1.Forward(x)
+	q := b.project(n, b.wq, b.bq)
+	k := b.project(n, b.wk, b.bk)
+	v := b.project(n, b.wv, b.bv)
+	attnOut := tensor.New(T, b.Dim)
+	scores := make([]float32, T)
+	for h := 0; h < b.Heads; h++ {
+		off := h * b.headDim
+		for ti := 0; ti < T; ti++ {
+			qrow := q.Data()[ti*b.Dim+off : ti*b.Dim+off+b.headDim]
+			var maxv float32 = -math.MaxFloat32
+			for tj := 0; tj < T; tj++ {
+				krow := k.Data()[tj*b.Dim+off : tj*b.Dim+off+b.headDim]
+				var dot float32
+				for i := range qrow {
+					dot += qrow[i] * krow[i]
+				}
+				dot *= b.attnScale
+				scores[tj] = dot
+				if dot > maxv {
+					maxv = dot
+				}
+			}
+			var sum float64
+			for tj := 0; tj < T; tj++ {
+				e := math.Exp(float64(scores[tj] - maxv))
+				scores[tj] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			orow := attnOut.Data()[ti*b.Dim+off : ti*b.Dim+off+b.headDim]
+			for tj := 0; tj < T; tj++ {
+				wgt := scores[tj] * inv
+				if wgt == 0 {
+					continue
+				}
+				vrow := v.Data()[tj*b.Dim+off : tj*b.Dim+off+b.headDim]
+				for i := range orow {
+					orow[i] += wgt * vrow[i]
+				}
+			}
+		}
+	}
+	proj := b.project(attnOut, b.wo, b.bo)
+	tensor.AddInPlace(proj, x) // residual
+	// Feed-forward sublayer.
+	n2 := b.ln2.Forward(proj)
+	ffOut := tensor.New(T, b.Dim)
+	for t := 0; t < T; t++ {
+		row := tensor.FromSlice(n2.Data()[t*b.Dim:(t+1)*b.Dim], b.Dim)
+		h := b.ff1.Forward(row)
+		o := b.ff2.Forward(h)
+		copy(ffOut.Data()[t*b.Dim:(t+1)*b.Dim], o.Data())
+	}
+	tensor.AddInPlace(ffOut, proj)
+	return ffOut
+}
+
+// FLOPs implements Layer.
+func (b *TransformerBlock) FLOPs(in []int) int64 {
+	if len(in) != 2 {
+		return 0
+	}
+	T := int64(in[0])
+	D := int64(b.Dim)
+	proj := 4 * T * D * D * 2         // Q,K,V,O projections
+	attn := 2*T*T*D*2 + T*T*int64(10) // scores + weighted sum + softmax
+	ff := T * (D*int64(b.FF)*2*2 + int64(b.FF))
+	ln := 2 * T * D * 8
+	return proj + attn + ff + ln
+}
+
+// Params implements Layer.
+func (b *TransformerBlock) Params() int64 {
+	D := int64(b.Dim)
+	return 4*D*D + 4*D + b.ff1.Params() + b.ff2.Params() + b.ln1.Params() + b.ln2.Params()
+}
+
+// Init implements Layer.
+func (b *TransformerBlock) Init(rng *rand.Rand) {
+	std := sqrt64(1 / float64(b.Dim))
+	for _, w := range []*tensor.Tensor{b.wq, b.wk, b.wv, b.wo} {
+		w.FillRandn(rng, std)
+	}
+	b.ff1.Init(rng)
+	b.ff2.Init(rng)
+	b.ln1.Init(rng)
+	b.ln2.Init(rng)
+}

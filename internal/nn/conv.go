@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [C,H,W] activations with optional zero
+// padding and stride, followed by an activation.
+type Conv2D struct {
+	InC, OutC  int
+	KH, KW     int
+	SH, SW     int
+	PadH, PadW int
+	Act        Activation
+
+	w *tensor.Tensor // [OutC, InC, KH, KW]
+	b []float32
+
+	// Accumulated gradients (allocated lazily on first Backward).
+	gw *tensor.Tensor
+	gb []float32
+}
+
+// NewConv2D constructs a convolution; stride values of 0 default to 1.
+func NewConv2D(inC, outC, kh, kw, sh, sw, padH, padW int, act Activation) *Conv2D {
+	if sh == 0 {
+		sh = 1
+	}
+	if sw == 0 {
+		sw = 1
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, SH: sh, SW: sw, PadH: padH, PadW: padW, Act: act,
+		w: tensor.New(outC, inC, kh, kw), b: make([]float32, outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv(%d→%d,%dx%d,s%dx%d,%s)", c.InC, c.OutC, c.KH, c.KW, c.SH, c.SW, c.Act)
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.InC {
+		return nil, fmt.Errorf("nn: %s expects [%d,H,W], got %v", c.Name(), c.InC, in)
+	}
+	oh := (in[1]+2*c.PadH-c.KH)/c.SH + 1
+	ow := (in[2]+2*c.PadW-c.KW)/c.SW + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: %s output collapses for input %v", c.Name(), in)
+	}
+	return []int{c.OutC, oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	outShape, err := c.OutShape(x.Shape())
+	if err != nil {
+		panic(err)
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	oh, ow := outShape[1], outShape[2]
+	out := tensor.New(c.OutC, oh, ow)
+	wf := c.w.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*c.SH - c.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*c.SW - c.PadW
+				sum := c.b[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						wrow := wf[((oc*c.InC+ic)*c.KH+ky)*c.KW:]
+						for kx := 0; kx < c.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += wrow[kx] * x.At3(ic, iy, ix)
+						}
+					}
+				}
+				out.Set3(oc, oy, ox, c.Act.apply(sum))
+			}
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs(in []int) int64 {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	macs := int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(c.InC) * int64(c.KH) * int64(c.KW)
+	f := macs * 2
+	if c.Act != ActNone {
+		f += int64(prod(out)) * actCost(c.Act)
+	}
+	return f
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() int64 {
+	return int64(c.OutC)*int64(c.InC)*int64(c.KH)*int64(c.KW) + int64(c.OutC)
+}
+
+// Init implements Layer.
+func (c *Conv2D) Init(rng *rand.Rand) {
+	fanIn := float64(c.InC * c.KH * c.KW)
+	c.w.FillRandn(rng, sqrt64(2/fanIn))
+	for i := range c.b {
+		c.b[i] = 0
+	}
+}
+
+// MaxPool2D is a max pooling layer over [C,H,W].
+type MaxPool2D struct {
+	KH, KW int
+	SH, SW int
+}
+
+// NewMaxPool2D constructs a pooling layer; stride 0 defaults to the kernel.
+func NewMaxPool2D(kh, kw, sh, sw int) *MaxPool2D {
+	if sh == 0 {
+		sh = kh
+	}
+	if sw == 0 {
+		sw = kw
+	}
+	return &MaxPool2D{KH: kh, KW: kw, SH: sh, SW: sw}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%dx%d)", p.KH, p.KW) }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool expects rank 3, got %v", in)
+	}
+	oh := (in[1]-p.KH)/p.SH + 1
+	ow := (in[2]-p.KW)/p.SW + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: maxpool output collapses for input %v", in)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	outShape, err := p.OutShape(x.Shape())
+	if err != nil {
+		panic(err)
+	}
+	out := tensor.New(outShape...)
+	for c := 0; c < outShape[0]; c++ {
+		for oy := 0; oy < outShape[1]; oy++ {
+			for ox := 0; ox < outShape[2]; ox++ {
+				best := x.At3(c, oy*p.SH, ox*p.SW)
+				for ky := 0; ky < p.KH; ky++ {
+					for kx := 0; kx < p.KW; kx++ {
+						if v := x.At3(c, oy*p.SH+ky, ox*p.SW+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set3(c, oy, ox, best)
+			}
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (p *MaxPool2D) FLOPs(in []int) int64 {
+	out, err := p.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(prod(out)) * int64(p.KH*p.KW) // comparisons
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (p *MaxPool2D) Init(*rand.Rand) {}
+
+// Inception is DeepLOB's inception module: parallel branches whose outputs
+// are concatenated along the channel dimension. Branch spatial dimensions
+// must match; use same-padding convolutions inside branches.
+type Inception struct {
+	Branches [][]Layer
+}
+
+// Name implements Layer.
+func (in *Inception) Name() string { return fmt.Sprintf("inception(%d branches)", len(in.Branches)) }
+
+// OutShape implements Layer.
+func (in *Inception) OutShape(shape []int) ([]int, error) {
+	totalC := 0
+	var hw []int
+	for bi, branch := range in.Branches {
+		cur := shape
+		for _, l := range branch {
+			next, err := l.OutShape(cur)
+			if err != nil {
+				return nil, fmt.Errorf("nn: inception branch %d: %w", bi, err)
+			}
+			cur = next
+		}
+		if len(cur) != 3 {
+			return nil, fmt.Errorf("nn: inception branch %d ends with rank %d", bi, len(cur))
+		}
+		if hw == nil {
+			hw = cur[1:]
+		} else if !shapeEq(hw, cur[1:]) {
+			return nil, fmt.Errorf("nn: inception branch %d spatial %v != %v", bi, cur[1:], hw)
+		}
+		totalC += cur[0]
+	}
+	return []int{totalC, hw[0], hw[1]}, nil
+}
+
+// Forward implements Layer.
+func (in *Inception) Forward(x *tensor.Tensor) *tensor.Tensor {
+	outShape, err := in.OutShape(x.Shape())
+	if err != nil {
+		panic(err)
+	}
+	out := tensor.New(outShape...)
+	cOff := 0
+	for _, branch := range in.Branches {
+		cur := x
+		for _, l := range branch {
+			cur = l.Forward(cur)
+		}
+		for c := 0; c < cur.Dim(0); c++ {
+			for h := 0; h < cur.Dim(1); h++ {
+				for w := 0; w < cur.Dim(2); w++ {
+					out.Set3(cOff+c, h, w, cur.At3(c, h, w))
+				}
+			}
+		}
+		cOff += cur.Dim(0)
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (in *Inception) FLOPs(shape []int) int64 {
+	var total int64
+	for _, branch := range in.Branches {
+		cur := shape
+		for _, l := range branch {
+			total += l.FLOPs(cur)
+			next, err := l.OutShape(cur)
+			if err != nil {
+				return total
+			}
+			cur = next
+		}
+	}
+	return total
+}
+
+// Params implements Layer.
+func (in *Inception) Params() int64 {
+	var total int64
+	for _, branch := range in.Branches {
+		for _, l := range branch {
+			total += l.Params()
+		}
+	}
+	return total
+}
+
+// Init implements Layer.
+func (in *Inception) Init(rng *rand.Rand) {
+	for _, branch := range in.Branches {
+		for _, l := range branch {
+			l.Init(rng)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package nn
+
+import "testing"
+
+// TestReportFLOPs logs the per-model operation counts recorded in
+// EXPERIMENTS.md (run with -v to see them).
+func TestReportFLOPs(t *testing.T) {
+	for _, m := range append(BenchmarkModels(), ComplexityLadder()...) {
+		t.Logf("%-12s FLOPs=%12d params=%10d", m.Name(), m.TotalFLOPs(), m.Params())
+	}
+}

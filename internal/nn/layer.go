@@ -1,0 +1,308 @@
+// Package nn implements the neural networks the paper benchmarks: a vanilla
+// CNN (Tsantekidis et al. 2017), DeepLOB (Zhang et al. 2019, CNN+LSTM) and
+// TransLOB (Wallbridge 2020, CNN+Transformer), plus the M1…M5 complexity
+// ladder of Fig. 8. The layers compute real forward passes (with optional
+// BF16 rounding to mirror the accelerator's numerics) and report per-layer
+// FLOP and parameter counts, which the compiler (internal/compile) lowers to
+// accelerator cycle estimates.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// Activation selects the nonlinearity applied by a layer.
+type Activation uint8
+
+const (
+	// ActNone applies no nonlinearity.
+	ActNone Activation = iota
+	// ActReLU applies max(0,x).
+	ActReLU
+	// ActLeakyReLU applies x for x≥0, 0.01·x otherwise (DeepLOB's choice).
+	ActLeakyReLU
+	// ActTanh applies tanh.
+	ActTanh
+	// ActSigmoid applies the logistic function.
+	ActSigmoid
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActLeakyReLU:
+		return "leakyrelu"
+	case ActTanh:
+		return "tanh"
+	case ActSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", uint8(a))
+	}
+}
+
+// apply computes the activation for one value.
+func (a Activation) apply(x float32) float32 {
+	switch a {
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActLeakyReLU:
+		if x < 0 {
+			return 0.01 * x
+		}
+		return x
+	case ActTanh:
+		return tanh32(x)
+	case ActSigmoid:
+		return sigmoid32(x)
+	default:
+		return x
+	}
+}
+
+// nonLinear reports whether the activation requires the accelerator's
+// extended PEs (exponential/rational evaluation).
+func (a Activation) nonLinear() bool { return a == ActTanh || a == ActSigmoid }
+
+func tanh32(x float32) float32 {
+	// Clamp to avoid overflow in exp; tanh saturates well before ±20.
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return -1
+	}
+	e2 := exp32(2 * x)
+	return (e2 - 1) / (e2 + 1)
+}
+
+func sigmoid32(x float32) float32 {
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return 0
+	}
+	return 1 / (1 + exp32(-x))
+}
+
+func exp32(x float32) float32 {
+	// Sufficient-precision expf via the standard library.
+	return float32(exp64(float64(x)))
+}
+
+// Layer is one stage of a feed-forward network.
+type Layer interface {
+	// Name identifies the layer kind and main dimensions.
+	Name() string
+	// OutShape computes the output shape for an input shape, or an error if
+	// the input is incompatible.
+	OutShape(in []int) ([]int, error)
+	// Forward computes the layer's output. Implementations must not retain
+	// or mutate x.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// FLOPs returns the floating-point operation count for one forward pass
+	// at the given input shape (multiply and add counted separately).
+	FLOPs(in []int) int64
+	// Params returns the number of trainable parameters.
+	Params() int64
+	// Init (re)initialises the layer's weights from rng.
+	Init(rng *rand.Rand)
+}
+
+// shapeEq reports whether two shapes match.
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func prod(s []int) int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Dense is a fully connected layer y = act(Wx + b) applied to a flat input.
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	w *tensor.Tensor // [Out, In]
+	b []float32
+
+	// Accumulated gradients (allocated lazily on first Backward).
+	gw *tensor.Tensor
+	gb []float32
+}
+
+// NewDense constructs a Dense layer.
+func NewDense(in, out int, act Activation) *Dense {
+	return &Dense{In: in, Out: out, Act: act, w: tensor.New(out, in), b: make([]float32, out)}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d,%s)", d.In, d.Out, d.Act) }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if prod(in) != d.In {
+		return nil, fmt.Errorf("nn: dense expects %d inputs, got shape %v", d.In, in)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	xf := x.Data()
+	out := tensor.New(d.Out)
+	of := out.Data()
+	wf := d.w.Data()
+	for o := 0; o < d.Out; o++ {
+		sum := d.b[o]
+		row := wf[o*d.In : (o+1)*d.In]
+		for i, v := range xf {
+			sum += row[i] * v
+		}
+		of[o] = d.Act.apply(sum)
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs([]int) int64 {
+	f := int64(d.Out) * int64(d.In) * 2
+	if d.Act != ActNone {
+		f += int64(d.Out) * actCost(d.Act)
+	}
+	return f
+}
+
+// Params implements Layer.
+func (d *Dense) Params() int64 { return int64(d.Out)*int64(d.In) + int64(d.Out) }
+
+// Init implements Layer.
+func (d *Dense) Init(rng *rand.Rand) {
+	std := 1.0 / float64(d.In)
+	d.w.FillRandn(rng, sqrt64(std))
+	for i := range d.b {
+		d.b[i] = 0
+	}
+}
+
+// actCost is the per-element FLOP estimate for an activation.
+func actCost(a Activation) int64 {
+	switch a {
+	case ActTanh, ActSigmoid:
+		return 8 // exponential evaluation on the EPEs
+	case ActNone:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Flatten reshapes any input to rank 1.
+type Flatten struct{}
+
+// Name implements Layer.
+func (Flatten) Name() string { return "flatten" }
+
+// OutShape implements Layer.
+func (Flatten) OutShape(in []int) ([]int, error) { return []int{prod(in)}, nil }
+
+// Forward implements Layer.
+func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Reshape(x.Size()) }
+
+// FLOPs implements Layer.
+func (Flatten) FLOPs([]int) int64 { return 0 }
+
+// Params implements Layer.
+func (Flatten) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (Flatten) Init(*rand.Rand) {}
+
+// SeqFromCHW converts a [C,H,W] activation into a [T,D] sequence with T=H
+// and D=C·W, the layout handoff between DeepLOB's convolutional stack and
+// its LSTM.
+type SeqFromCHW struct{}
+
+// Name implements Layer.
+func (SeqFromCHW) Name() string { return "seq-from-chw" }
+
+// OutShape implements Layer.
+func (SeqFromCHW) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: seq-from-chw expects rank 3, got %v", in)
+	}
+	return []int{in[1], in[0] * in[2]}, nil
+}
+
+// Forward implements Layer.
+func (SeqFromCHW) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(h, c*w)
+	for t := 0; t < h; t++ {
+		for ci := 0; ci < c; ci++ {
+			for wi := 0; wi < w; wi++ {
+				out.Set2(t, ci*w+wi, x.At3(ci, t, wi))
+			}
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (SeqFromCHW) FLOPs([]int) int64 { return 0 }
+
+// Params implements Layer.
+func (SeqFromCHW) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (SeqFromCHW) Init(*rand.Rand) {}
+
+// SoftmaxLayer applies a softmax over a rank-1 input, producing class
+// probabilities.
+type SoftmaxLayer struct{}
+
+// Name implements Layer.
+func (SoftmaxLayer) Name() string { return "softmax" }
+
+// OutShape implements Layer.
+func (SoftmaxLayer) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: softmax expects rank 1, got %v", in)
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (SoftmaxLayer) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.Softmax(x) }
+
+// FLOPs implements Layer.
+func (SoftmaxLayer) FLOPs(in []int) int64 { return int64(prod(in)) * 10 }
+
+// Params implements Layer.
+func (SoftmaxLayer) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (SoftmaxLayer) Init(*rand.Rand) {}

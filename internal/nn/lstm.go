@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory over a [T,D] sequence.
+// With ReturnLast set it emits only the final hidden state [H]; otherwise
+// the full hidden sequence [T,H].
+type LSTM struct {
+	In, Hidden int
+	ReturnLast bool
+
+	// Gate weights, packed i|f|g|o: wx [4H, D], wh [4H, H], b [4H].
+	wx *tensor.Tensor
+	wh *tensor.Tensor
+	b  []float32
+
+	// Accumulated gradients (allocated lazily on first Backward).
+	gwx *tensor.Tensor
+	gwh *tensor.Tensor
+	gb  []float32
+}
+
+// NewLSTM constructs an LSTM layer.
+func NewLSTM(in, hidden int, returnLast bool) *LSTM {
+	return &LSTM{
+		In: in, Hidden: hidden, ReturnLast: returnLast,
+		wx: tensor.New(4*hidden, in),
+		wh: tensor.New(4*hidden, hidden),
+		b:  make([]float32, 4*hidden),
+	}
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return fmt.Sprintf("lstm(%d→%d)", l.In, l.Hidden) }
+
+// OutShape implements Layer.
+func (l *LSTM) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != l.In {
+		return nil, fmt.Errorf("nn: %s expects [T,%d], got %v", l.Name(), l.In, in)
+	}
+	if l.ReturnLast {
+		return []int{l.Hidden}, nil
+	}
+	return []int{in[0], l.Hidden}, nil
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if _, err := l.OutShape(x.Shape()); err != nil {
+		panic(err)
+	}
+	T := x.Dim(0)
+	H := l.Hidden
+	h := make([]float32, H)
+	c := make([]float32, H)
+	gates := make([]float32, 4*H)
+	var seq *tensor.Tensor
+	if !l.ReturnLast {
+		seq = tensor.New(T, H)
+	}
+	wxf, whf := l.wx.Data(), l.wh.Data()
+	for t := 0; t < T; t++ {
+		xt := x.Data()[t*l.In : (t+1)*l.In]
+		copy(gates, l.b)
+		for g := 0; g < 4*H; g++ {
+			row := wxf[g*l.In : (g+1)*l.In]
+			sum := gates[g]
+			for i, v := range xt {
+				sum += row[i] * v
+			}
+			hrow := whf[g*H : (g+1)*H]
+			for i, v := range h {
+				sum += hrow[i] * v
+			}
+			gates[g] = sum
+		}
+		for j := 0; j < H; j++ {
+			i := sigmoid32(gates[j])
+			f := sigmoid32(gates[H+j])
+			g := tanh32(gates[2*H+j])
+			o := sigmoid32(gates[3*H+j])
+			c[j] = f*c[j] + i*g
+			h[j] = o * tanh32(c[j])
+		}
+		if seq != nil {
+			copy(seq.Data()[t*H:(t+1)*H], h)
+		}
+	}
+	if l.ReturnLast {
+		out := tensor.New(H)
+		copy(out.Data(), h)
+		return out
+	}
+	return seq
+}
+
+// FLOPs implements Layer.
+func (l *LSTM) FLOPs(in []int) int64 {
+	if len(in) != 2 {
+		return 0
+	}
+	T := int64(in[0])
+	H := int64(l.Hidden)
+	D := int64(l.In)
+	perStep := 4*H*(D+H)*2 + // gate matmuls
+		H*(3*8+8+4) // three sigmoids, two tanh (8 each), elementwise updates
+	return T * perStep
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() int64 {
+	H, D := int64(l.Hidden), int64(l.In)
+	return 4*H*D + 4*H*H + 4*H
+}
+
+// Init implements Layer.
+func (l *LSTM) Init(rng *rand.Rand) {
+	l.wx.FillRandn(rng, sqrt64(1/float64(l.In)))
+	l.wh.FillRandn(rng, sqrt64(1/float64(l.Hidden)))
+	for i := range l.b {
+		l.b[i] = 0
+	}
+	// Forget-gate bias of 1 for stable gradients, standard practice.
+	for j := 0; j < l.Hidden; j++ {
+		l.b[l.Hidden+j] = 1
+	}
+}

@@ -1,0 +1,6 @@
+package nn
+
+import "math"
+
+func exp64(x float64) float64  { return math.Exp(x) }
+func sqrt64(x float64) float64 { return math.Sqrt(x) }

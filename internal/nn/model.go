@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// Direction is the predicted price movement class (paper Fig. 3): the
+// direction of the mid price at the prediction horizon relative to now.
+type Direction uint8
+
+const (
+	// Down predicts the mid price will fall.
+	Down Direction = iota
+	// Stationary predicts no significant move.
+	Stationary
+	// Up predicts the mid price will rise.
+	Up
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Down:
+		return "down"
+	case Stationary:
+		return "stationary"
+	case Up:
+		return "up"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// NumClasses is the size of the model output distribution.
+const NumClasses = 3
+
+// Model is a feed-forward network with a fixed input shape.
+type Model struct {
+	// ModelName identifies the architecture ("DeepLOB", …).
+	ModelName string
+	// InputShape is the expected input, [C,H,W] = [1, window, features].
+	InputShape []int
+	// Layers are applied in order.
+	Layers []Layer
+	// BF16 rounds every layer's output through BF16 precision, mirroring
+	// the accelerator's storage format.
+	BF16 bool
+}
+
+// Name returns the architecture name.
+func (m *Model) Name() string { return m.ModelName }
+
+// Validate checks that layer shapes compose, returning the output shape.
+func (m *Model) Validate() ([]int, error) {
+	shape := m.InputShape
+	for i, l := range m.Layers {
+		next, err := l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s layer %d (%s): %w", m.ModelName, i, l.Name(), err)
+		}
+		shape = next
+	}
+	return shape, nil
+}
+
+// Init deterministically initialises all weights from seed.
+func (m *Model) Init(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, l := range m.Layers {
+		l.Init(rng)
+	}
+}
+
+// Forward runs one inference. The input shape must equal InputShape.
+func (m *Model) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !shapeEq(x.Shape(), m.InputShape) {
+		return nil, fmt.Errorf("nn: %s expects input %v, got %v", m.ModelName, m.InputShape, x.Shape())
+	}
+	cur := x
+	for i, l := range m.Layers {
+		if _, err := l.OutShape(cur.Shape()); err != nil {
+			return nil, fmt.Errorf("nn: %s layer %d: %w", m.ModelName, i, err)
+		}
+		cur = l.Forward(cur)
+		if m.BF16 {
+			cur.RoundBF16()
+		}
+	}
+	return cur, nil
+}
+
+// Predict runs Forward and interprets the output as class probabilities.
+func (m *Model) Predict(x *tensor.Tensor) (Direction, float32, error) {
+	out, err := m.Forward(x)
+	if err != nil {
+		return Stationary, 0, err
+	}
+	if out.Size() != NumClasses {
+		return Stationary, 0, fmt.Errorf("nn: %s output size %d, want %d", m.ModelName, out.Size(), NumClasses)
+	}
+	idx := tensor.Argmax(out)
+	return Direction(idx), out.Data()[idx], nil
+}
+
+// TotalFLOPs sums per-layer FLOP counts for one batch-1 inference.
+func (m *Model) TotalFLOPs() int64 {
+	var total int64
+	shape := m.InputShape
+	for _, l := range m.Layers {
+		total += l.FLOPs(shape)
+		next, err := l.OutShape(shape)
+		if err != nil {
+			return total
+		}
+		shape = next
+	}
+	return total
+}
+
+// Params sums trainable parameter counts.
+func (m *Model) Params() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.Params()
+	}
+	return total
+}
+
+// LayerFLOPs returns the per-layer FLOP breakdown, used by the compiler to
+// build hyperblocks.
+func (m *Model) LayerFLOPs() []int64 {
+	out := make([]int64, len(m.Layers))
+	shape := m.InputShape
+	for i, l := range m.Layers {
+		out[i] = l.FLOPs(shape)
+		next, err := l.OutShape(shape)
+		if err != nil {
+			break
+		}
+		shape = next
+	}
+	return out
+}
+
+// HasNonLinear reports whether any layer needs the extended PEs
+// (exponential-class functions): LSTMs, attention, softmax, tanh/sigmoid.
+func (m *Model) HasNonLinear() bool {
+	for _, l := range m.Layers {
+		switch v := l.(type) {
+		case *LSTM, *TransformerBlock, SoftmaxLayer, *LayerNorm:
+			return true
+		case *Dense:
+			if v.Act.nonLinear() {
+				return true
+			}
+		case *Conv2D:
+			if v.Act.nonLinear() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+// Package offload implements the offload engine of paper §III-A / Fig. 5:
+// it converts limit-order-book snapshots into BF16 feature vectors,
+// Z-score-normalises them against statistics profiled from historical
+// data, stacks the most recent Window vectors into the two-dimensional
+// input feature map the DNN models consume, and manages stale tensors so
+// feature-map generation needs minimal storage.
+package offload
+
+import (
+	"fmt"
+	"math"
+
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/tensor"
+)
+
+// Normalizer holds per-feature Z-score statistics (mean and standard
+// deviation), obtained from historical market data as the paper describes.
+type Normalizer struct {
+	Mean [nn.Features]float64
+	Std  [nn.Features]float64
+}
+
+// Calibrate computes Z-score statistics over a historical snapshot set.
+// Zero-variance features get unit std so normalisation stays defined.
+func Calibrate(snapshots []lob.Snapshot) Normalizer {
+	var n Normalizer
+	for i := range n.Std {
+		n.Std[i] = 1
+	}
+	if len(snapshots) == 0 {
+		return n
+	}
+	var sum, sumSq [nn.Features]float64
+	for i := range snapshots {
+		f := snapshots[i].Features()
+		for j, v := range f {
+			sum[j] += v
+			sumSq[j] += v * v
+		}
+	}
+	cnt := float64(len(snapshots))
+	for j := range sum {
+		mean := sum[j] / cnt
+		variance := sumSq[j]/cnt - mean*mean
+		n.Mean[j] = mean
+		if variance > 1e-12 {
+			n.Std[j] = math.Sqrt(variance)
+		}
+	}
+	return n
+}
+
+// Apply normalises a raw feature vector in place.
+func (n *Normalizer) Apply(f *[nn.Features]float64) {
+	for j := range f {
+		f[j] = (f[j] - n.Mean[j]) / n.Std[j]
+	}
+}
+
+// InputTensor is a ready-to-offload feature map with its creation time for
+// stale-tensor management.
+type InputTensor struct {
+	TimeNanos int64
+	Tensor    *tensor.Tensor // [1, Window, Features], BF16-rounded
+}
+
+// Engine assembles feature maps tick by tick.
+type Engine struct {
+	norm Normalizer
+	// ring holds the most recent Window normalised feature vectors.
+	ring  [][nn.Features]float32
+	head  int
+	count int
+	// pending holds ready tensors awaiting offload (the FIFO of Fig. 5).
+	pending []InputTensor
+	maxPend int
+	dropped int
+}
+
+// NewEngine builds an offload engine; maxPending bounds the ready-tensor
+// FIFO (oldest evicted beyond it). maxPending ≤ 0 means 64.
+func NewEngine(norm Normalizer, maxPending int) *Engine {
+	if maxPending <= 0 {
+		maxPending = 64
+	}
+	return &Engine{
+		norm:    norm,
+		ring:    make([][nn.Features]float32, nn.Window),
+		maxPend: maxPending,
+	}
+}
+
+// Push ingests one book snapshot. Once Window vectors have accumulated it
+// enqueues a ready input tensor, evicting the oldest pending tensor if the
+// FIFO is full.
+func (e *Engine) Push(snap lob.Snapshot) {
+	raw := snap.Features()
+	e.norm.Apply(&raw)
+	var vec [nn.Features]float32
+	for j, v := range raw {
+		vec[j] = tensor.RoundBF16(float32(v))
+	}
+	e.ring[e.head] = vec
+	e.head = (e.head + 1) % nn.Window
+	if e.count < nn.Window {
+		e.count++
+	}
+	if e.count < nn.Window {
+		return
+	}
+	if len(e.pending) >= e.maxPend {
+		e.pending = e.pending[1:]
+		e.dropped++
+	}
+	e.pending = append(e.pending, InputTensor{TimeNanos: snap.TimeNanos, Tensor: e.buildTensor()})
+}
+
+// buildTensor copies the ring, oldest row first, into a model input.
+func (e *Engine) buildTensor() *tensor.Tensor {
+	t := tensor.New(1, nn.Window, nn.Features)
+	data := t.Data()
+	for i := 0; i < nn.Window; i++ {
+		src := e.ring[(e.head+i)%nn.Window]
+		copy(data[i*nn.Features:(i+1)*nn.Features], src[:])
+	}
+	return t
+}
+
+// Ready returns the number of pending input tensors.
+func (e *Engine) Ready() int { return len(e.pending) }
+
+// Dropped returns how many stale tensors were evicted since construction.
+func (e *Engine) Dropped() int { return e.dropped }
+
+// PopBatch removes and returns up to n pending tensors, oldest first —
+// the DMA hand-off to an accelerator.
+func (e *Engine) PopBatch(n int) []InputTensor {
+	if n > len(e.pending) {
+		n = len(e.pending)
+	}
+	batch := make([]InputTensor, n)
+	copy(batch, e.pending[:n])
+	e.pending = e.pending[n:]
+	return batch
+}
+
+// EvictOlderThan drops pending tensors created before cutoff (stale-tensor
+// management for deadline-expired feature maps), returning the count.
+func (e *Engine) EvictOlderThan(cutoff int64) int {
+	i := 0
+	for i < len(e.pending) && e.pending[i].TimeNanos < cutoff {
+		i++
+	}
+	e.pending = e.pending[i:]
+	e.dropped += i
+	return i
+}
+
+// Warm reports whether the window has filled and tensors can be produced.
+func (e *Engine) Warm() bool { return e.count >= nn.Window }
+
+// String summarises engine state for diagnostics.
+func (e *Engine) String() string {
+	return fmt.Sprintf("offload{window %d/%d, pending %d, dropped %d}",
+		e.count, nn.Window, len(e.pending), e.dropped)
+}

@@ -1,0 +1,249 @@
+// Package orderentry implements the order-entry protocols named in the
+// paper (§III-A): the FIX tag-value message protocol and a CME iLink 3
+// style binary order-entry format. The trading engine stores pre-built
+// message templates and patches only the variable fields, mirroring the
+// paper's template-in-SRAM design.
+package orderentry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// SOH is the FIX field delimiter.
+const SOH = '\x01'
+
+// FIX message types used by the pipeline.
+const (
+	MsgNewOrderSingle     = "D"
+	MsgOrderCancelRequest = "F"
+	MsgOrderCancelReplace = "G"
+	MsgExecutionReport    = "8"
+)
+
+// FIX tag numbers used by the pipeline.
+const (
+	tagBeginString  = 8
+	tagBodyLength   = 9
+	tagCheckSum     = 10
+	tagClOrdID      = 11
+	tagMsgSeqNum    = 34
+	tagMsgType      = 35
+	tagOrderQty     = 38
+	tagOrdType      = 40
+	tagOrigClOrdID  = 41
+	tagPrice        = 44
+	tagSenderCompID = 49
+	tagSendingTime  = 52
+	tagSide         = 54
+	tagSymbol       = 55
+	tagTargetCompID = 56
+	tagExecType     = 150
+)
+
+// Field is one tag=value pair.
+type Field struct {
+	Tag   int
+	Value string
+}
+
+// FIXMessage is a parsed FIX message: ordered fields excluding the
+// BeginString/BodyLength/CheckSum envelope.
+type FIXMessage struct {
+	Fields []Field
+}
+
+// Get returns the first value for tag.
+func (m *FIXMessage) Get(tag int) (string, bool) {
+	for _, f := range m.Fields {
+		if f.Tag == tag {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// MsgType returns tag 35.
+func (m *FIXMessage) MsgType() string {
+	v, _ := m.Get(tagMsgType)
+	return v
+}
+
+// FIXSession encodes application messages with session-level framing
+// (sequence numbers, comp ids, checksum).
+type FIXSession struct {
+	Sender string
+	Target string
+	seq    uint64
+	buf    bytes.Buffer
+}
+
+// NewFIXSession returns a session with sequence numbers starting at 1.
+func NewFIXSession(sender, target string) *FIXSession {
+	return &FIXSession{Sender: sender, Target: target}
+}
+
+// NewOrderSingle encodes a 35=D message. side follows FIX: '1' buy, '2'
+// sell. Prices and quantities are integer ticks/lots rendered in decimal.
+func (s *FIXSession) NewOrderSingle(clOrdID uint64, symbol string, buy bool, price, qty int64, sendingTime string) []byte {
+	side := "2"
+	if buy {
+		side = "1"
+	}
+	return s.encode(MsgNewOrderSingle, sendingTime, []Field{
+		{tagClOrdID, strconv.FormatUint(clOrdID, 10)},
+		{tagOrderQty, strconv.FormatInt(qty, 10)},
+		{tagOrdType, "2"}, // limit
+		{tagPrice, strconv.FormatInt(price, 10)},
+		{tagSide, side},
+		{tagSymbol, symbol},
+	})
+}
+
+// OrderCancelRequest encodes a 35=F message.
+func (s *FIXSession) OrderCancelRequest(clOrdID, origClOrdID uint64, symbol, sendingTime string) []byte {
+	return s.encode(MsgOrderCancelRequest, sendingTime, []Field{
+		{tagClOrdID, strconv.FormatUint(clOrdID, 10)},
+		{tagOrigClOrdID, strconv.FormatUint(origClOrdID, 10)},
+		{tagSymbol, symbol},
+	})
+}
+
+// OrderCancelReplace encodes a 35=G message.
+func (s *FIXSession) OrderCancelReplace(clOrdID, origClOrdID uint64, symbol string, price, qty int64, sendingTime string) []byte {
+	return s.encode(MsgOrderCancelReplace, sendingTime, []Field{
+		{tagClOrdID, strconv.FormatUint(clOrdID, 10)},
+		{tagOrigClOrdID, strconv.FormatUint(origClOrdID, 10)},
+		{tagOrderQty, strconv.FormatInt(qty, 10)},
+		{tagPrice, strconv.FormatInt(price, 10)},
+		{tagSymbol, symbol},
+	})
+}
+
+// ExecutionReport encodes a 35=8 message (used by the exchange simulator).
+func (s *FIXSession) ExecutionReport(clOrdID uint64, execType byte, symbol string, price, qty int64, sendingTime string) []byte {
+	return s.encode(MsgExecutionReport, sendingTime, []Field{
+		{tagClOrdID, strconv.FormatUint(clOrdID, 10)},
+		{tagExecType, string(execType)},
+		{tagOrderQty, strconv.FormatInt(qty, 10)},
+		{tagPrice, strconv.FormatInt(price, 10)},
+		{tagSymbol, symbol},
+	})
+}
+
+// encode assembles header+body+trailer. The body fields are emitted in the
+// order provided after the standard header tags.
+func (s *FIXSession) encode(msgType, sendingTime string, body []Field) []byte {
+	s.seq++
+	s.buf.Reset()
+	writeField := func(b *bytes.Buffer, tag int, val string) {
+		b.WriteString(strconv.Itoa(tag))
+		b.WriteByte('=')
+		b.WriteString(val)
+		b.WriteByte(SOH)
+	}
+	var inner bytes.Buffer
+	writeField(&inner, tagMsgType, msgType)
+	writeField(&inner, tagMsgSeqNum, strconv.FormatUint(s.seq, 10))
+	writeField(&inner, tagSenderCompID, s.Sender)
+	writeField(&inner, tagTargetCompID, s.Target)
+	writeField(&inner, tagSendingTime, sendingTime)
+	for _, f := range body {
+		writeField(&inner, f.Tag, f.Value)
+	}
+	writeField(&s.buf, tagBeginString, "FIX.4.4")
+	writeField(&s.buf, tagBodyLength, strconv.Itoa(inner.Len()))
+	s.buf.Write(inner.Bytes())
+	sum := 0
+	for _, c := range s.buf.Bytes() {
+		sum += int(c)
+	}
+	writeField(&s.buf, tagCheckSum, fmt.Sprintf("%03d", sum%256))
+	out := make([]byte, s.buf.Len())
+	copy(out, s.buf.Bytes())
+	return out
+}
+
+// FIX parsing errors.
+var (
+	ErrFIXMalformed = errors.New("orderentry: malformed FIX message")
+	ErrFIXChecksum  = errors.New("orderentry: FIX checksum mismatch")
+)
+
+// ParseFIX validates the envelope (BeginString, BodyLength, CheckSum) and
+// returns the application fields.
+func ParseFIX(raw []byte) (*FIXMessage, error) {
+	fields, err := splitFIX(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) < 4 || fields[0].Tag != tagBeginString || fields[1].Tag != tagBodyLength {
+		return nil, ErrFIXMalformed
+	}
+	last := fields[len(fields)-1]
+	if last.Tag != tagCheckSum {
+		return nil, ErrFIXMalformed
+	}
+	bodyLen, err := strconv.Atoi(fields[1].Value)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad body length", ErrFIXMalformed)
+	}
+	// Verify checksum over everything before the CheckSum field.
+	checkStart := bytes.LastIndex(raw, []byte("\x0110="))
+	if checkStart < 0 {
+		return nil, ErrFIXMalformed
+	}
+	checkStart++ // keep the SOH terminating the previous field
+	sum := 0
+	for _, c := range raw[:checkStart] {
+		sum += int(c)
+	}
+	want, err := strconv.Atoi(last.Value)
+	if err != nil || sum%256 != want {
+		return nil, ErrFIXChecksum
+	}
+	// Verify body length: bytes between the BodyLength field's SOH and the
+	// CheckSum tag.
+	headerEnd := fieldEnd(raw, 2)
+	if headerEnd < 0 || checkStart-headerEnd != bodyLen {
+		return nil, fmt.Errorf("%w: body length %d != declared %d", ErrFIXMalformed, checkStart-headerEnd, bodyLen)
+	}
+	return &FIXMessage{Fields: fields[2 : len(fields)-1]}, nil
+}
+
+// fieldEnd returns the byte offset just past the nth field (1-based count).
+func fieldEnd(raw []byte, n int) int {
+	off := 0
+	for i := 0; i < n; i++ {
+		j := bytes.IndexByte(raw[off:], SOH)
+		if j < 0 {
+			return -1
+		}
+		off += j + 1
+	}
+	return off
+}
+
+func splitFIX(raw []byte) ([]Field, error) {
+	if len(raw) == 0 || raw[len(raw)-1] != SOH {
+		return nil, ErrFIXMalformed
+	}
+	var fields []Field
+	for len(raw) > 0 {
+		j := bytes.IndexByte(raw, SOH)
+		pair := raw[:j]
+		raw = raw[j+1:]
+		eq := bytes.IndexByte(pair, '=')
+		if eq <= 0 {
+			return nil, ErrFIXMalformed
+		}
+		tag, err := strconv.Atoi(string(pair[:eq]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad tag %q", ErrFIXMalformed, pair[:eq])
+		}
+		fields = append(fields, Field{Tag: tag, Value: string(pair[eq+1:])})
+	}
+	return fields, nil
+}

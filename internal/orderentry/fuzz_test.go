@@ -1,0 +1,73 @@
+package orderentry
+
+import (
+	"testing"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+)
+
+// FuzzDecodeFrame exercises the iLink business-frame decoder.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendRequest(nil, exchange.Request{
+		Kind: exchange.ReqNew, SecurityID: 7, ClOrdID: 1,
+		Side: lob.Bid, Price: 100, Qty: 2,
+	}))
+	f.Add(AppendExecAck(nil, ExecAck{ClOrdID: 1}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if frame.Request == nil && frame.Ack == nil {
+			t.Fatal("decoded frame with no payload")
+		}
+		if frame.Request != nil {
+			// Round-trip must be stable.
+			re := AppendRequest(nil, *frame.Request)
+			f2, _, err := DecodeFrame(re)
+			if err != nil || f2.Request == nil || *f2.Request != *frame.Request {
+				t.Fatalf("round trip unstable: %+v vs %+v (%v)", f2.Request, frame.Request, err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeSessionFrame exercises the session-layer decoder.
+func FuzzDecodeSessionFrame(f *testing.F) {
+	f.Add(AppendNegotiate(nil, 1, 2))
+	f.Add(AppendEstablish(nil, 1, 2, 500))
+	f.Add(AppendSequence(nil, 1, 2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeSessionFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if frame.Template == 0 {
+			t.Fatal("decoded session frame with zero template")
+		}
+	})
+}
+
+// FuzzParseFIX exercises the FIX tag-value parser.
+func FuzzParseFIX(f *testing.F) {
+	s := NewFIXSession("A", "B")
+	f.Add(s.NewOrderSingle(1, "ES", true, 100, 1, "t"))
+	f.Add([]byte("8=FIX.4.4\x019=0\x0110=000\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ParseFIX(data)
+		if err != nil {
+			return
+		}
+		if msg == nil {
+			t.Fatal("nil message with nil error")
+		}
+	})
+}

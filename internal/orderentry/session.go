@@ -1,0 +1,355 @@
+package orderentry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// iLink 3 style session layer: before business messages flow, the client
+// Negotiates (binds a UUID to the session) and Establishes (activates the
+// message path and agrees a keep-alive interval). While established, both
+// sides exchange Sequence frames as heartbeats; missing keep-alives
+// terminates the session. This is the FIXP-derived handshake CME requires
+// of every order-entry session; the state machines are pure (no I/O) so
+// the venue server and tests drive them directly.
+
+// Session template IDs.
+const (
+	templateNegotiate         = 500
+	templateNegotiateResponse = 501
+	templateEstablish         = 503
+	templateEstablishAck      = 504
+	templateSequence          = 506
+	templateTerminate         = 507
+
+	negotiateBodyLen = 8 + 8     // uuid, requestTimestamp
+	negotiateRespLen = 8 + 8     // uuid, requestTimestamp
+	establishBodyLen = 8 + 8 + 4 // uuid, requestTimestamp, keepAliveMillis
+	establishAckLen  = 8 + 8 + 4 // uuid, nextSeqNo, keepAliveMillis
+	sequenceBodyLen  = 8 + 8     // uuid, nextSeqNo
+	terminateBodyLen = 8 + 1 + 3 // uuid, reason, pad
+)
+
+// Session frame kinds decoded by DecodeSessionFrame.
+type SessionFrame struct {
+	Template  uint16
+	UUID      uint64
+	Timestamp uint64 // requestTimestamp where applicable
+	NextSeqNo uint64
+	KeepAlive uint32 // milliseconds
+	Reason    byte
+}
+
+// Terminate reasons.
+const (
+	TerminateFinished         = 0
+	TerminateKeepAliveExpired = 1
+	TerminateProtocolError    = 2
+)
+
+// Session errors.
+var (
+	ErrNotSessionFrame = errors.New("orderentry: not a session frame")
+	ErrSessionState    = errors.New("orderentry: invalid session state")
+)
+
+// AppendNegotiate encodes a Negotiate frame.
+func AppendNegotiate(dst []byte, uuid, ts uint64) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+negotiateBodyLen)
+	dst = appendILinkHeader(dst, templateNegotiate)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = binary.LittleEndian.AppendUint64(dst, ts)
+	return dst
+}
+
+// AppendNegotiateResponse encodes the venue's acceptance.
+func AppendNegotiateResponse(dst []byte, uuid, ts uint64) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+negotiateRespLen)
+	dst = appendILinkHeader(dst, templateNegotiateResponse)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = binary.LittleEndian.AppendUint64(dst, ts)
+	return dst
+}
+
+// AppendEstablish encodes an Establish frame.
+func AppendEstablish(dst []byte, uuid, ts uint64, keepAliveMillis uint32) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+establishBodyLen)
+	dst = appendILinkHeader(dst, templateEstablish)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = binary.LittleEndian.AppendUint64(dst, ts)
+	dst = binary.LittleEndian.AppendUint32(dst, keepAliveMillis)
+	return dst
+}
+
+// AppendEstablishAck encodes the venue's establishment acknowledgement.
+func AppendEstablishAck(dst []byte, uuid, nextSeqNo uint64, keepAliveMillis uint32) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+establishAckLen)
+	dst = appendILinkHeader(dst, templateEstablishAck)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = binary.LittleEndian.AppendUint64(dst, nextSeqNo)
+	dst = binary.LittleEndian.AppendUint32(dst, keepAliveMillis)
+	return dst
+}
+
+// AppendSequence encodes a Sequence (heartbeat) frame.
+func AppendSequence(dst []byte, uuid, nextSeqNo uint64) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+sequenceBodyLen)
+	dst = appendILinkHeader(dst, templateSequence)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = binary.LittleEndian.AppendUint64(dst, nextSeqNo)
+	return dst
+}
+
+// AppendTerminate encodes a Terminate frame.
+func AppendTerminate(dst []byte, uuid uint64, reason byte) []byte {
+	dst = appendSOFH(dst, ilinkHeaderLen+terminateBodyLen)
+	dst = appendILinkHeader(dst, templateTerminate)
+	dst = binary.LittleEndian.AppendUint64(dst, uuid)
+	dst = append(dst, reason, 0, 0, 0)
+	return dst
+}
+
+// DecodeSessionFrame decodes one session-layer frame, returning
+// ErrNotSessionFrame for business templates so callers can fall through to
+// DecodeFrame.
+func DecodeSessionFrame(buf []byte) (SessionFrame, int, error) {
+	if len(buf) < sofhLen+ilinkHeaderLen {
+		return SessionFrame{}, 0, ErrILinkShort
+	}
+	frameLen := int(binary.LittleEndian.Uint16(buf[0:]))
+	if enc := binary.LittleEndian.Uint16(buf[2:]); enc != encodingTypeSBE {
+		return SessionFrame{}, 0, fmt.Errorf("%w: 0x%04x", ErrILinkEncoding, enc)
+	}
+	if len(buf) < frameLen {
+		return SessionFrame{}, 0, ErrILinkShort
+	}
+	template := binary.LittleEndian.Uint16(buf[sofhLen:])
+	body := buf[sofhLen+ilinkHeaderLen : frameLen]
+	f := SessionFrame{Template: template}
+	switch template {
+	case templateNegotiate, templateNegotiateResponse:
+		if len(body) < negotiateBodyLen {
+			return SessionFrame{}, 0, ErrILinkShort
+		}
+		f.UUID = binary.LittleEndian.Uint64(body[0:])
+		f.Timestamp = binary.LittleEndian.Uint64(body[8:])
+	case templateEstablish:
+		if len(body) < establishBodyLen {
+			return SessionFrame{}, 0, ErrILinkShort
+		}
+		f.UUID = binary.LittleEndian.Uint64(body[0:])
+		f.Timestamp = binary.LittleEndian.Uint64(body[8:])
+		f.KeepAlive = binary.LittleEndian.Uint32(body[16:])
+	case templateEstablishAck:
+		if len(body) < establishAckLen {
+			return SessionFrame{}, 0, ErrILinkShort
+		}
+		f.UUID = binary.LittleEndian.Uint64(body[0:])
+		f.NextSeqNo = binary.LittleEndian.Uint64(body[8:])
+		f.KeepAlive = binary.LittleEndian.Uint32(body[16:])
+	case templateSequence:
+		if len(body) < sequenceBodyLen {
+			return SessionFrame{}, 0, ErrILinkShort
+		}
+		f.UUID = binary.LittleEndian.Uint64(body[0:])
+		f.NextSeqNo = binary.LittleEndian.Uint64(body[8:])
+	case templateTerminate:
+		if len(body) < terminateBodyLen {
+			return SessionFrame{}, 0, ErrILinkShort
+		}
+		f.UUID = binary.LittleEndian.Uint64(body[0:])
+		f.Reason = body[8]
+	default:
+		return SessionFrame{}, 0, ErrNotSessionFrame
+	}
+	return f, frameLen, nil
+}
+
+// SessionState is the FIXP state machine position.
+type SessionState uint8
+
+const (
+	// StateIdle is the initial state.
+	StateIdle SessionState = iota
+	// StateNegotiated has a bound UUID but no active message path.
+	StateNegotiated
+	// StateEstablished accepts business messages.
+	StateEstablished
+	// StateTerminated is final.
+	StateTerminated
+)
+
+// String implements fmt.Stringer.
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateNegotiated:
+		return "negotiated"
+	case StateEstablished:
+		return "established"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("SessionState(%d)", uint8(s))
+	}
+}
+
+// VenueSession is the exchange-side session state machine for one
+// connection. now is supplied by the caller in nanoseconds.
+type VenueSession struct {
+	state     SessionState
+	uuid      uint64
+	keepAlive uint32 // ms
+	lastHeard int64
+	nextSeqNo uint64
+}
+
+// NewVenueSession returns an idle venue-side session.
+func NewVenueSession() *VenueSession { return &VenueSession{nextSeqNo: 1} }
+
+// State returns the current state.
+func (v *VenueSession) State() SessionState { return v.state }
+
+// UUID returns the bound session id (0 before negotiation).
+func (v *VenueSession) UUID() uint64 { return v.uuid }
+
+// OnFrame advances the state machine with a received session frame and
+// returns the encoded reply (nil if none).
+func (v *VenueSession) OnFrame(f SessionFrame, now int64) ([]byte, error) {
+	v.lastHeard = now
+	switch f.Template {
+	case templateNegotiate:
+		if v.state != StateIdle {
+			return AppendTerminate(nil, f.UUID, TerminateProtocolError),
+				fmt.Errorf("%w: negotiate in %v", ErrSessionState, v.state)
+		}
+		v.uuid = f.UUID
+		v.state = StateNegotiated
+		return AppendNegotiateResponse(nil, f.UUID, f.Timestamp), nil
+	case templateEstablish:
+		if v.state != StateNegotiated || f.UUID != v.uuid {
+			return AppendTerminate(nil, f.UUID, TerminateProtocolError),
+				fmt.Errorf("%w: establish in %v", ErrSessionState, v.state)
+		}
+		if f.KeepAlive == 0 {
+			return AppendTerminate(nil, f.UUID, TerminateProtocolError),
+				fmt.Errorf("%w: zero keep-alive", ErrSessionState)
+		}
+		v.keepAlive = f.KeepAlive
+		v.state = StateEstablished
+		return AppendEstablishAck(nil, v.uuid, v.nextSeqNo, v.keepAlive), nil
+	case templateSequence:
+		if v.state != StateEstablished {
+			return nil, fmt.Errorf("%w: sequence in %v", ErrSessionState, v.state)
+		}
+		return nil, nil // heartbeat consumed
+	case templateTerminate:
+		v.state = StateTerminated
+		return nil, nil
+	default:
+		return nil, ErrNotSessionFrame
+	}
+}
+
+// OnBusiness records business-message activity; it returns an error unless
+// the session is established.
+func (v *VenueSession) OnBusiness(now int64) error {
+	if v.state != StateEstablished {
+		return fmt.Errorf("%w: business message in %v", ErrSessionState, v.state)
+	}
+	v.lastHeard = now
+	v.nextSeqNo++
+	return nil
+}
+
+// Expired reports whether the keep-alive window (3 missed intervals) has
+// lapsed; the venue then terminates the session.
+func (v *VenueSession) Expired(now int64) bool {
+	if v.state != StateEstablished || v.keepAlive == 0 {
+		return false
+	}
+	return now-v.lastHeard > 3*int64(v.keepAlive)*1_000_000
+}
+
+// ClientSession is the trader-side state machine.
+type ClientSession struct {
+	state     SessionState
+	uuid      uint64
+	keepAlive uint32
+	nextSeqNo uint64
+	lastSent  int64
+}
+
+// NewClientSession returns an idle client session for uuid.
+func NewClientSession(uuid uint64) *ClientSession {
+	return &ClientSession{uuid: uuid, nextSeqNo: 1}
+}
+
+// State returns the current state.
+func (c *ClientSession) State() SessionState { return c.state }
+
+// Negotiate produces the opening frame.
+func (c *ClientSession) Negotiate(now int64) ([]byte, error) {
+	if c.state != StateIdle {
+		return nil, fmt.Errorf("%w: negotiate in %v", ErrSessionState, c.state)
+	}
+	return AppendNegotiate(nil, c.uuid, uint64(now)), nil
+}
+
+// Establish produces the establish frame after a successful negotiation.
+func (c *ClientSession) Establish(now int64, keepAliveMillis uint32) ([]byte, error) {
+	if c.state != StateNegotiated {
+		return nil, fmt.Errorf("%w: establish in %v", ErrSessionState, c.state)
+	}
+	if keepAliveMillis == 0 {
+		return nil, fmt.Errorf("%w: zero keep-alive", ErrSessionState)
+	}
+	c.keepAlive = keepAliveMillis
+	return AppendEstablish(nil, c.uuid, uint64(now), keepAliveMillis), nil
+}
+
+// OnFrame advances the client with a venue session frame.
+func (c *ClientSession) OnFrame(f SessionFrame, now int64) error {
+	switch f.Template {
+	case templateNegotiateResponse:
+		if c.state != StateIdle || f.UUID != c.uuid {
+			return fmt.Errorf("%w: negotiate response in %v", ErrSessionState, c.state)
+		}
+		c.state = StateNegotiated
+	case templateEstablishAck:
+		if c.state != StateNegotiated || f.UUID != c.uuid {
+			return fmt.Errorf("%w: establish ack in %v", ErrSessionState, c.state)
+		}
+		c.state = StateEstablished
+		c.nextSeqNo = f.NextSeqNo
+		c.lastSent = now
+	case templateTerminate:
+		c.state = StateTerminated
+	case templateSequence:
+		// Venue heartbeat; nothing to do.
+	default:
+		return ErrNotSessionFrame
+	}
+	return nil
+}
+
+// Heartbeat returns a Sequence frame when the keep-alive interval since the
+// last send has elapsed, else nil.
+func (c *ClientSession) Heartbeat(now int64) []byte {
+	if c.state != StateEstablished {
+		return nil
+	}
+	if now-c.lastSent < int64(c.keepAlive)*1_000_000 {
+		return nil
+	}
+	c.lastSent = now
+	return AppendSequence(nil, c.uuid, c.nextSeqNo)
+}
+
+// NoteSent records outbound business activity (defers the next heartbeat).
+func (c *ClientSession) NoteSent(now int64) {
+	c.lastSent = now
+	c.nextSeqNo++
+}

@@ -1,0 +1,188 @@
+package orderentry
+
+import (
+	"errors"
+	"testing"
+)
+
+// handshake drives a client and venue through negotiate + establish.
+func handshake(t *testing.T) (*ClientSession, *VenueSession) {
+	t.Helper()
+	client := NewClientSession(0xABCD)
+	venue := NewVenueSession()
+
+	neg, err := client.Negotiate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := DecodeSessionFrame(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := venue.OnFrame(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, _, err := DecodeSessionFrame(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.OnFrame(rf, 110); err != nil {
+		t.Fatal(err)
+	}
+
+	est, err := client.Establish(120, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err = DecodeSessionFrame(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err = venue.OnFrame(f, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, _, err = DecodeSessionFrame(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.OnFrame(rf, 130); err != nil {
+		t.Fatal(err)
+	}
+	return client, venue
+}
+
+func TestHandshake(t *testing.T) {
+	client, venue := handshake(t)
+	if client.State() != StateEstablished || venue.State() != StateEstablished {
+		t.Fatalf("states: client %v venue %v", client.State(), venue.State())
+	}
+	if venue.UUID() != 0xABCD {
+		t.Fatalf("uuid = %x", venue.UUID())
+	}
+}
+
+func TestBusinessRequiresEstablishment(t *testing.T) {
+	venue := NewVenueSession()
+	if err := venue.OnBusiness(1); err == nil {
+		t.Fatal("business message accepted before establishment")
+	}
+	_, venue = handshake(t)
+	if err := venue.OnBusiness(200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstablishBeforeNegotiateRejected(t *testing.T) {
+	venue := NewVenueSession()
+	est := AppendEstablish(nil, 1, 1, 500)
+	f, _, err := DecodeSessionFrame(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := venue.OnFrame(f, 1)
+	if err == nil {
+		t.Fatal("establish accepted in idle state")
+	}
+	// The venue replies with Terminate(protocol error).
+	tf, _, err := DecodeSessionFrame(reply)
+	if err != nil || tf.Template != templateTerminate || tf.Reason != TerminateProtocolError {
+		t.Fatalf("reply = %+v err %v", tf, err)
+	}
+}
+
+func TestZeroKeepAliveRejected(t *testing.T) {
+	client := NewClientSession(1)
+	if _, err := client.Negotiate(1); err != nil {
+		t.Fatal(err)
+	}
+	client.state = StateNegotiated
+	if _, err := client.Establish(1, 0); err == nil {
+		t.Fatal("zero keep-alive accepted")
+	}
+}
+
+func TestHeartbeatCadence(t *testing.T) {
+	client, venue := handshake(t)
+	// Inside the interval: no heartbeat.
+	if hb := client.Heartbeat(130 + 400*1_000_000); hb != nil {
+		t.Fatal("premature heartbeat")
+	}
+	// Past the interval: Sequence frame.
+	hb := client.Heartbeat(130 + 600*1_000_000)
+	if hb == nil {
+		t.Fatal("no heartbeat after interval")
+	}
+	f, _, err := DecodeSessionFrame(hb)
+	if err != nil || f.Template != templateSequence {
+		t.Fatalf("heartbeat = %+v err %v", f, err)
+	}
+	if _, err := venue.OnFrame(f, 130+600*1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepAliveExpiry(t *testing.T) {
+	_, venue := handshake(t)
+	// Three missed 500 ms intervals.
+	if venue.Expired(130 + 1_400*1_000_000) {
+		t.Fatal("expired too early")
+	}
+	if !venue.Expired(130 + 1_600*1_000_000) {
+		t.Fatal("keep-alive expiry not detected")
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	client, venue := handshake(t)
+	term := AppendTerminate(nil, 0xABCD, TerminateFinished)
+	f, _, err := DecodeSessionFrame(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := venue.OnFrame(f, 500); err != nil {
+		t.Fatal(err)
+	}
+	if venue.State() != StateTerminated {
+		t.Fatalf("venue state %v", venue.State())
+	}
+	if err := client.OnFrame(f, 500); err != nil {
+		t.Fatal(err)
+	}
+	if client.State() != StateTerminated {
+		t.Fatalf("client state %v", client.State())
+	}
+}
+
+func TestSessionFrameFallthrough(t *testing.T) {
+	// Business frames must yield ErrNotSessionFrame so callers fall back
+	// to DecodeFrame.
+	buf := AppendExecAck(nil, ExecAck{ClOrdID: 1})
+	if _, _, err := DecodeSessionFrame(buf); !errors.Is(err, ErrNotSessionFrame) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := DecodeSessionFrame([]byte{1}); !errors.Is(err, ErrILinkShort) {
+		t.Fatalf("short err = %v", err)
+	}
+}
+
+func TestSessionRoundTrips(t *testing.T) {
+	cases := []struct {
+		buf      []byte
+		template uint16
+	}{
+		{AppendNegotiate(nil, 7, 9), templateNegotiate},
+		{AppendNegotiateResponse(nil, 7, 9), templateNegotiateResponse},
+		{AppendEstablish(nil, 7, 9, 250), templateEstablish},
+		{AppendEstablishAck(nil, 7, 42, 250), templateEstablishAck},
+		{AppendSequence(nil, 7, 42), templateSequence},
+		{AppendTerminate(nil, 7, TerminateKeepAliveExpired), templateTerminate},
+	}
+	for _, c := range cases {
+		f, n, err := DecodeSessionFrame(c.buf)
+		if err != nil || n != len(c.buf) || f.Template != c.template || f.UUID != 7 {
+			t.Fatalf("template %d: %+v n=%d err=%v", c.template, f, n, err)
+		}
+	}
+}

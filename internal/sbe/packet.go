@@ -1,0 +1,97 @@
+package sbe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet framing follows the MDP 3.0 binary packet header: each UDP datagram
+// starts with a channel sequence number and sending time, followed by one or
+// more size-prefixed SBE messages.
+//
+//	packet := seqNum uint32 | sendingTime uint64 | { msgSize uint16 | message } ...
+
+// PacketHeaderLen is the fixed packet header size in bytes.
+const PacketHeaderLen = 12
+
+// msgSizeLen is the per-message size prefix.
+const msgSizeLen = 2
+
+// Packet is a decoded market-data datagram.
+type Packet struct {
+	SeqNum      uint32
+	SendingTime uint64 // nanoseconds
+	Messages    []Message
+}
+
+// PacketEncoder incrementally builds a packet payload. The zero value is not
+// usable; call NewPacketEncoder.
+type PacketEncoder struct {
+	buf []byte
+}
+
+// NewPacketEncoder starts a packet with the given header fields.
+func NewPacketEncoder(seqNum uint32, sendingTime uint64) *PacketEncoder {
+	buf := make([]byte, 0, 512)
+	buf = binary.LittleEndian.AppendUint32(buf, seqNum)
+	buf = binary.LittleEndian.AppendUint64(buf, sendingTime)
+	return &PacketEncoder{buf: buf}
+}
+
+// AddIncremental appends an incremental refresh message.
+func (p *PacketEncoder) AddIncremental(m *IncrementalRefresh) {
+	p.addFramed(func(dst []byte) []byte { return AppendIncremental(dst, m) })
+}
+
+// AddTrade appends a trade summary message.
+func (p *PacketEncoder) AddTrade(m *TradeSummary) {
+	p.addFramed(func(dst []byte) []byte { return AppendTrade(dst, m) })
+}
+
+// AddSnapshot appends a snapshot message.
+func (p *PacketEncoder) AddSnapshot(m *SnapshotFullRefresh) {
+	p.addFramed(func(dst []byte) []byte { return AppendSnapshot(dst, m) })
+}
+
+func (p *PacketEncoder) addFramed(encode func([]byte) []byte) {
+	sizeAt := len(p.buf)
+	p.buf = append(p.buf, 0, 0) // reserve size
+	start := len(p.buf)
+	p.buf = encode(p.buf)
+	// The MDP message size field includes the size field itself.
+	binary.LittleEndian.PutUint16(p.buf[sizeAt:], uint16(len(p.buf)-start+msgSizeLen))
+}
+
+// Bytes returns the encoded datagram payload.
+func (p *PacketEncoder) Bytes() []byte { return p.buf }
+
+// DecodePacket parses a complete market-data datagram.
+func DecodePacket(buf []byte) (Packet, error) {
+	if len(buf) < PacketHeaderLen {
+		return Packet{}, ErrShortBuffer
+	}
+	pkt := Packet{
+		SeqNum:      binary.LittleEndian.Uint32(buf[0:]),
+		SendingTime: binary.LittleEndian.Uint64(buf[4:]),
+	}
+	off := PacketHeaderLen
+	for off < len(buf) {
+		if len(buf)-off < msgSizeLen {
+			return Packet{}, ErrShortBuffer
+		}
+		size := int(binary.LittleEndian.Uint16(buf[off:]))
+		if size < msgSizeLen || off+size > len(buf) {
+			return Packet{}, fmt.Errorf("sbe: bad message size %d at offset %d", size, off)
+		}
+		msg, n, err := DecodeMessage(buf[off+msgSizeLen : off+size])
+		if err != nil {
+			return Packet{}, err
+		}
+		if n != size-msgSizeLen {
+			return Packet{}, fmt.Errorf("sbe: message consumed %d of %d framed bytes", n, size-msgSizeLen)
+		}
+		pkt.Messages = append(pkt.Messages, msg)
+		off += size
+	}
+	return pkt, nil
+}

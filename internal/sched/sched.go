@@ -1,0 +1,326 @@
+// Package sched implements the paper's proactive scheduling algorithms
+// (§III-D): performance-per-watt (PPW) driven workload scheduling
+// (Algorithm 1: jointly choosing batch size and DVFS state for each issued
+// batch under deadline and power constraints) and DVFS scheduling
+// (Algorithm 2: redistributing the residual power budget across busy
+// accelerators by marginal PPW). The functions are pure decision logic;
+// package core owns the runtime state they act on.
+package sched
+
+import (
+	"lighttrader/internal/c2c"
+	"lighttrader/internal/cgra"
+)
+
+// Policy selects Algorithm 1's objective among feasible (dvfs, batch)
+// candidates. The paper uses PPW; the alternatives exist for the ablation
+// study in internal/bench.
+type Policy uint8
+
+const (
+	// PolicyPPW maximises batch/(latency·power) — the paper's metric.
+	PolicyPPW Policy = iota
+	// PolicyLatency minimises t_total (greedy latency: fastest state,
+	// smallest batch).
+	PolicyLatency
+	// PolicyThroughput maximises batch size, breaking ties by latency.
+	PolicyThroughput
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPPW:
+		return "ppw"
+	case PolicyLatency:
+		return "latency-greedy"
+	case PolicyThroughput:
+		return "throughput-greedy"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config selects the scheduling features under evaluation (the four Fig. 13
+// configurations) and carries the hardware models decisions are made
+// against.
+type Config struct {
+	Spec   cgra.Spec
+	Kernel *cgra.Kernel
+	Link   c2c.Link
+	// BatchOptions are the batch sizes Algorithm 1 may issue; ignored
+	// (forced to 1) when WorkloadScheduling is false.
+	BatchOptions []int
+	// WorkloadScheduling enables Algorithm 1's batch exploration (WS).
+	WorkloadScheduling bool
+	// DVFSScheduling enables DVFS state exploration and Algorithm 2's
+	// power redistribution (DS).
+	DVFSScheduling bool
+	// StaticDVFS is the fixed operating point when DS is disabled,
+	// chosen conservatively for the accelerator count (Table III).
+	StaticDVFS cgra.DVFSState
+	// PowerBudgetWatts is the total accelerator power budget (card budget
+	// minus FPGA and peripherals).
+	PowerBudgetWatts float64
+	// PostProcessNanos is the trading-engine and order-encoding time after
+	// inference completes, part of t_total.
+	PostProcessNanos int64
+	// IssuePolicy is Algorithm 1's objective; zero value is the paper's
+	// PPW metric.
+	IssuePolicy Policy
+}
+
+// DefaultBatchOptions is the batch ladder explored by Algorithm 1.
+func DefaultBatchOptions() []int { return []int{1, 2, 4, 8, 16} }
+
+// batchOptions returns the ladder honouring the WS switch.
+func (c *Config) batchOptions() []int {
+	if !c.WorkloadScheduling {
+		return []int{1}
+	}
+	if len(c.BatchOptions) == 0 {
+		return DefaultBatchOptions()
+	}
+	return c.BatchOptions
+}
+
+// dvfsOptions returns the state table honouring the DS switch.
+func (c *Config) dvfsOptions() []cgra.DVFSState {
+	if !c.DVFSScheduling {
+		return []cgra.DVFSState{c.StaticDVFS}
+	}
+	return c.Spec.DVFSTable()
+}
+
+// TotalNanos is t_total of Algorithm 1: C2C input transfer + inference +
+// result return + post-processing, for a batch at a DVFS state.
+func (c *Config) TotalNanos(d cgra.DVFSState, batch int) int64 {
+	tTrans := c.Link.TransferNanos(c.Kernel.InputBytes*int64(batch)) +
+		c.Link.TransferNanos(c.Kernel.OutputBytes*int64(batch))
+	tInfer := c.Kernel.InferenceNanos(c.Spec, d, batch)
+	return tTrans + tInfer + c.PostProcessNanos
+}
+
+// BusyPower is the accelerator draw while executing this kernel at d.
+func (c *Config) BusyPower(d cgra.DVFSState) float64 {
+	return c.Spec.Power(d, c.Kernel.Activity)
+}
+
+// PPW is the paper's performance-per-watt metric:
+// batch_size / (latency · consumed power), in 1/(s·W).
+func (c *Config) PPW(d cgra.DVFSState, batch int) float64 {
+	lat := float64(c.TotalNanos(d, batch)) / 1e9
+	p := c.BusyPower(d)
+	if lat <= 0 || p <= 0 {
+		return 0
+	}
+	return float64(batch) / (lat * p)
+}
+
+// Issue is Algorithm 1's decision for one idle accelerator.
+type Issue struct {
+	Batch int
+	DVFS  cgra.DVFSState
+	// SwitchNanos is the DVFS transition stall before the batch starts.
+	SwitchNanos int64
+	// TotalNanos is the projected t_total including SwitchNanos.
+	TotalNanos int64
+}
+
+// PickIssue implements Algorithm 1. queued is the number of unscheduled
+// input tensors in the offload engine, availNanos the remaining available
+// time of the oldest queued tensor, powerAvail the unallocated power
+// budget, and current the accelerator's present DVFS state (a different
+// target state stalls for the switch delay).
+//
+// The boolean result is false when candidate_queue ends empty: no
+// (dvfs, batch) pair meets both the deadline and the power constraint, and
+// the caller must defer the oldest tensor to the conventional pipeline.
+func PickIssue(cfg *Config, queued int, availNanos int64, powerAvail float64, current cgra.DVFSState) (Issue, bool) {
+	var best Issue
+	bestScore := 0.0
+	found := false
+	// The PMIC/PLL transition overlaps the C2C input DMA: the supply ramps
+	// while the feature map streams in, so only the excess stalls the start.
+	overlap := cfg.Link.TransferNanos(cfg.Kernel.InputBytes)
+	for _, d := range cfg.dvfsOptions() {
+		var sw int64
+		if d != current {
+			sw = cfg.Spec.DVFSSwitchNanos - overlap
+			if sw < 0 {
+				sw = 0
+			}
+		}
+		for _, bs := range cfg.batchOptions() {
+			if bs > queued {
+				continue
+			}
+			tTotal := cfg.TotalNanos(d, bs) + sw
+			if tTotal >= availNanos {
+				continue
+			}
+			if cfg.BusyPower(d) >= powerAvail {
+				continue
+			}
+			score := cfg.issueScore(d, bs, tTotal)
+			if !found || score > bestScore {
+				found = true
+				bestScore = score
+				best = Issue{Batch: bs, DVFS: d, SwitchNanos: sw, TotalNanos: tTotal}
+			}
+		}
+	}
+	return best, found
+}
+
+// issueScore ranks a feasible candidate under the configured policy;
+// higher is better.
+func (c *Config) issueScore(d cgra.DVFSState, bs int, tTotal int64) float64 {
+	switch c.IssuePolicy {
+	case PolicyLatency:
+		return -float64(tTotal)
+	case PolicyThroughput:
+		// Batch dominates; faster completion breaks ties.
+		return float64(bs)*1e12 - float64(tTotal)
+	default:
+		return c.PPW(d, bs)
+	}
+}
+
+// BusyAccel is Algorithm 2's view of one non-idle accelerator.
+type BusyAccel struct {
+	ID int
+	// DVFS is the current operating point.
+	DVFS cgra.DVFSState
+	// Batch is the in-flight batch size.
+	Batch int
+	// SlackNanos is the margin before the in-flight batch's deadline; a
+	// scale-down must not consume it, and scale-ups must cover their own
+	// switch stall.
+	SlackNanos int64
+	// RemainingNanos is the projected time to completion at DVFS.
+	RemainingNanos int64
+}
+
+// Change is a DVFS adjustment Algorithm 2 requests.
+type Change struct {
+	ID   int
+	DVFS cgra.DVFSState
+}
+
+// SavePower is the first step of DVFS scheduling: scale each busy
+// accelerator down to the slowest state that still meets its in-flight
+// deadline, freeing budget before a new issue. Lowering the state stretches
+// the remaining time by the frequency ratio and stalls for the switch
+// delay, both of which must fit in the accelerator's slack.
+func SavePower(cfg *Config, busy []BusyAccel) []Change {
+	var changes []Change
+	table := cfg.Spec.DVFSTable()
+	for _, a := range busy {
+		best := a.DVFS
+		for _, d := range table {
+			if d.FreqGHz >= best.FreqGHz {
+				break // table ascends; only states below current save power
+			}
+			stretched := int64(float64(a.RemainingNanos) * a.DVFS.FreqGHz / d.FreqGHz)
+			extra := stretched - a.RemainingNanos + cfg.Spec.DVFSSwitchNanos
+			if extra < a.SlackNanos {
+				best = d
+				break // lowest feasible state
+			}
+		}
+		if best != a.DVFS {
+			changes = append(changes, Change{ID: a.ID, DVFS: best})
+		}
+	}
+	return changes
+}
+
+// Redistribute implements Algorithm 2: while unallocated power remains,
+// raise the DVFS state of the busy accelerator whose upgrade yields the
+// highest marginal PPW change (ppw_inc), fully consuming the constrained
+// power to minimise the miss rate under bursty traffic.
+func Redistribute(cfg *Config, busy []BusyAccel, powerAvail float64) []Change {
+	table := cfg.Spec.DVFSTable()
+	state := make(map[int]cgra.DVFSState, len(busy))
+	batch := make(map[int]int, len(busy))
+	for _, a := range busy {
+		state[a.ID] = a.DVFS
+		batch[a.ID] = a.Batch
+	}
+	var changes []Change
+	for {
+		bestID := -1
+		var bestState cgra.DVFSState
+		bestInc := 0.0
+		first := true
+		for _, a := range busy {
+			cur := state[a.ID]
+			next, ok := nextState(table, cur)
+			if !ok {
+				continue
+			}
+			powerInc := cfg.BusyPower(next) - cfg.BusyPower(cur)
+			if powerInc >= powerAvail {
+				continue
+			}
+			ppwInc := cfg.PPW(next, batch[a.ID]) - cfg.PPW(cur, batch[a.ID])
+			if first || ppwInc > bestInc {
+				first = false
+				bestInc = ppwInc
+				bestID = a.ID
+				bestState = next
+			}
+		}
+		if bestID < 0 {
+			return changes
+		}
+		powerAvail -= cfg.BusyPower(bestState) - cfg.BusyPower(state[bestID])
+		state[bestID] = bestState
+		// Coalesce successive upgrades of the same accelerator.
+		replaced := false
+		for i := range changes {
+			if changes[i].ID == bestID {
+				changes[i].DVFS = bestState
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			changes = append(changes, Change{ID: bestID, DVFS: bestState})
+		}
+	}
+}
+
+// nextState returns the table entry one step above cur.
+func nextState(table []cgra.DVFSState, cur cgra.DVFSState) (cgra.DVFSState, bool) {
+	for i, d := range table {
+		if d.FreqGHz > cur.FreqGHz+1e-9 {
+			_ = i
+			return d, true
+		}
+	}
+	return cgra.DVFSState{}, false
+}
+
+// staticGuardBand is the safety margin the static configuration applies on
+// top of the worst-case all-accelerators-active assumption (§IV-C: "we set
+// the clock frequency and voltage of the AI accelerator conservatively").
+// A fixed operating point cannot react to workload shifts, so it must
+// guard against model-activity and supply variation; DVFS scheduling's
+// advantage is precisely that it spends this margin dynamically.
+const staticGuardBand = 1.35
+
+// StaticDVFSFor returns the conservative fixed operating point for n
+// accelerators sharing budgetWatts, assuming all run simultaneously at the
+// kernel's activity plus a guard band — the Table III configuration used
+// when DVFS scheduling is disabled. The boolean is false when even the
+// lowest state exceeds the per-accelerator budget; callers should then
+// still use the lowest state (the hardware cannot go lower).
+func StaticDVFSFor(spec cgra.Spec, kernel *cgra.Kernel, n int, budgetWatts float64) (cgra.DVFSState, bool) {
+	per := budgetWatts / float64(n) / staticGuardBand
+	if d, ok := spec.MaxFreqUnderPower(per, kernel.Activity); ok {
+		return d, true
+	}
+	return spec.DVFSTable()[0], false
+}

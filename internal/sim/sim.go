@@ -1,0 +1,194 @@
+// Package sim is the back-test simulation framework of paper §IV-A: a
+// deterministic discrete-event engine that replays a tick trace against a
+// system model, tracks each query's tick-to-trade against its available
+// time, and reports response/miss rates, latency distributions and energy.
+// Like the paper's framework, it drives systems through profiled latency
+// and power models ("for faster simulation, we profile the tick-to-trade
+// and power consumption of each system … and use them in the simulation
+// framework") so runs are exactly re-runnable.
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"lighttrader/internal/feed"
+)
+
+// NoEvent is returned by SystemModel.NextEventTime when no internal event
+// is pending.
+const NoEvent = math.MaxInt64
+
+// Query is one market-data event presented to the system under test.
+type Query struct {
+	ID           int64
+	ArrivalNanos int64
+	// DeadlineNanos is the absolute time by which the order must leave the
+	// system (arrival + t_avail); later completion is a miss.
+	DeadlineNanos int64
+}
+
+// Remaining returns the time budget left at now.
+func (q Query) Remaining(now int64) int64 { return q.DeadlineNanos - now }
+
+// Completion reports the fate of one query.
+type Completion struct {
+	Query Query
+	// DoneNanos is when the order left the system (undefined if Dropped).
+	DoneNanos int64
+	// Dropped marks queries the system discarded (offload-queue eviction,
+	// Algorithm 1's infeasible branch) rather than processed.
+	Dropped bool
+	// Batch is the batch size the query was served in (0 if dropped).
+	Batch int
+}
+
+// Responded reports whether the query was served within its deadline.
+func (c Completion) Responded() bool { return !c.Dropped && c.DoneNanos <= c.Query.DeadlineNanos }
+
+// SystemModel is a system under test: LightTrader, the GPU-based system, or
+// the FPGA-based system. Implementations are single-threaded state machines
+// driven by the engine strictly forward in time.
+type SystemModel interface {
+	// Name identifies the system configuration.
+	Name() string
+	// Reset restores initial state so the model can be reused across runs.
+	Reset()
+	// OnArrival presents a query at its arrival time.
+	OnArrival(now int64, q Query)
+	// NextEventTime returns the next internal event time, or NoEvent.
+	NextEventTime() int64
+	// Advance processes internal events scheduled at exactly the returned
+	// event time, returning any completed or dropped queries.
+	Advance(now int64) []Completion
+}
+
+// EnergyReporter is optionally implemented by systems that integrate power.
+type EnergyReporter interface {
+	// EnergyJoules returns energy consumed since Reset.
+	EnergyJoules() float64
+}
+
+// Run replays queries (which must be sorted by arrival time) through sys
+// and computes metrics. deterministic: same inputs → same outputs.
+func Run(queries []Query, sys SystemModel) Metrics {
+	sys.Reset()
+	completions := make([]Completion, 0, len(queries))
+	for _, q := range queries {
+		for {
+			t := sys.NextEventTime()
+			if t == NoEvent || t > q.ArrivalNanos {
+				break
+			}
+			completions = append(completions, sys.Advance(t)...)
+		}
+		sys.OnArrival(q.ArrivalNanos, q)
+	}
+	for {
+		t := sys.NextEventTime()
+		if t == NoEvent {
+			break
+		}
+		completions = append(completions, sys.Advance(t)...)
+	}
+	m := computeMetrics(queries, completions)
+	if er, ok := sys.(EnergyReporter); ok {
+		m.EnergyJoules = er.EnergyJoules()
+		if len(queries) > 1 {
+			span := float64(queries[len(queries)-1].ArrivalNanos-queries[0].ArrivalNanos) / 1e9
+			if span > 0 {
+				m.AvgPowerWatts = m.EnergyJoules / span
+			}
+		}
+	}
+	return m
+}
+
+// Metrics summarises one run.
+type Metrics struct {
+	System    string
+	Total     int
+	Responded int
+	// Dropped counts queries evicted without processing.
+	Dropped int
+	// Late counts queries processed but after their deadline.
+	Late int
+	// Unaccounted counts queries with no completion record (system bug).
+	Unaccounted int
+
+	ResponseRate float64 // responded / total
+	MissRate     float64 // 1 - ResponseRate
+
+	// Tick-to-trade latency over responded queries, nanoseconds.
+	MeanLatencyNanos int64
+	P50LatencyNanos  int64
+	P99LatencyNanos  int64
+	MaxLatencyNanos  int64
+
+	// MeanBatch is the average batch size over served queries.
+	MeanBatch float64
+
+	EnergyJoules  float64
+	AvgPowerWatts float64
+}
+
+func computeMetrics(queries []Query, completions []Completion) Metrics {
+	var m Metrics
+	m.Total = len(queries)
+	seen := make(map[int64]bool, len(completions))
+	var latencies []int64
+	var batchSum, batchN int64
+	for _, c := range completions {
+		if seen[c.Query.ID] {
+			continue // count each query once
+		}
+		seen[c.Query.ID] = true
+		switch {
+		case c.Dropped:
+			m.Dropped++
+		case c.DoneNanos > c.Query.DeadlineNanos:
+			m.Late++
+			batchSum += int64(c.Batch)
+			batchN++
+		default:
+			m.Responded++
+			latencies = append(latencies, c.DoneNanos-c.Query.ArrivalNanos)
+			batchSum += int64(c.Batch)
+			batchN++
+		}
+	}
+	m.Unaccounted = m.Total - m.Responded - m.Dropped - m.Late
+	if m.Total > 0 {
+		m.ResponseRate = float64(m.Responded) / float64(m.Total)
+		m.MissRate = 1 - m.ResponseRate
+	}
+	if batchN > 0 {
+		m.MeanBatch = float64(batchSum) / float64(batchN)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		m.MeanLatencyNanos = sum / int64(len(latencies))
+		m.P50LatencyNanos = latencies[len(latencies)/2]
+		m.P99LatencyNanos = latencies[len(latencies)*99/100]
+		m.MaxLatencyNanos = latencies[len(latencies)-1]
+	}
+	return m
+}
+
+// QueriesFromTicks converts a tick trace into a query stream with a fixed
+// per-tick available time (the prediction-horizon budget t_avail).
+func QueriesFromTicks(ticks []feed.Tick, tAvailNanos int64) []Query {
+	qs := make([]Query, len(ticks))
+	for i, t := range ticks {
+		qs[i] = Query{
+			ID:            int64(i),
+			ArrivalNanos:  t.TimeNanos,
+			DeadlineNanos: t.TimeNanos + tAvailNanos,
+		}
+	}
+	return qs
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"lighttrader/internal/feed"
+)
+
+// fifoServer is a minimal single-server system for engine tests.
+type fifoServer struct {
+	service int64
+	queue   []Query
+	busy    bool
+	doneAt  int64
+	cur     Query
+	watts   float64
+	energyJ float64
+	lastT   int64
+	started bool
+}
+
+func (f *fifoServer) Name() string { return "fifo" }
+func (f *fifoServer) Reset() {
+	f.queue = nil
+	f.busy = false
+	f.energyJ = 0
+	f.started = false
+}
+func (f *fifoServer) accrue(now int64) {
+	if f.started && f.busy {
+		f.energyJ += f.watts * float64(now-f.lastT) / 1e9
+	}
+	f.lastT = now
+	f.started = true
+}
+func (f *fifoServer) OnArrival(now int64, q Query) {
+	f.accrue(now)
+	f.queue = append(f.queue, q)
+	f.dispatch(now)
+}
+func (f *fifoServer) dispatch(now int64) {
+	if !f.busy && len(f.queue) > 0 {
+		f.cur = f.queue[0]
+		f.queue = f.queue[1:]
+		f.busy = true
+		f.doneAt = now + f.service
+	}
+}
+func (f *fifoServer) NextEventTime() int64 {
+	if f.busy {
+		return f.doneAt
+	}
+	return NoEvent
+}
+func (f *fifoServer) Advance(now int64) []Completion {
+	f.accrue(now)
+	var out []Completion
+	if f.busy && f.doneAt <= now {
+		out = append(out, Completion{Query: f.cur, DoneNanos: f.doneAt, Batch: 1})
+		f.busy = false
+	}
+	f.dispatch(now)
+	return out
+}
+func (f *fifoServer) EnergyJoules() float64 { return f.energyJ }
+
+func TestRunBasicAccounting(t *testing.T) {
+	sys := &fifoServer{service: 100, watts: 10}
+	queries := []Query{
+		{ID: 0, ArrivalNanos: 0, DeadlineNanos: 1000},
+		{ID: 1, ArrivalNanos: 10, DeadlineNanos: 1010},
+		{ID: 2, ArrivalNanos: 20, DeadlineNanos: 120}, // waits 180 → late
+	}
+	m := Run(queries, sys)
+	if m.Total != 3 || m.Unaccounted != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Responded != 2 || m.Late != 1 {
+		t.Fatalf("responded=%d late=%d, want 2/1", m.Responded, m.Late)
+	}
+	// Query 0: latency 100. Query 1: starts at 100, done 200 → latency 190.
+	if m.P50LatencyNanos != 190 && m.P50LatencyNanos != 100 {
+		t.Fatalf("p50 = %d", m.P50LatencyNanos)
+	}
+	if m.MeanLatencyNanos != 145 {
+		t.Fatalf("mean latency = %d, want (100+190)/2", m.MeanLatencyNanos)
+	}
+	if m.ResponseRate < 0.66 || m.ResponseRate > 0.67 {
+		t.Fatalf("response rate = %v", m.ResponseRate)
+	}
+	if m.MissRate != 1-m.ResponseRate {
+		t.Fatal("miss rate inconsistent")
+	}
+	if m.EnergyJoules <= 0 {
+		t.Fatalf("energy = %v", m.EnergyJoules)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	queries := make([]Query, 100)
+	for i := range queries {
+		queries[i] = Query{ID: int64(i), ArrivalNanos: int64(i * 37), DeadlineNanos: int64(i*37 + 500)}
+	}
+	m1 := Run(queries, &fifoServer{service: 50, watts: 1})
+	m2 := Run(queries, &fifoServer{service: 50, watts: 1})
+	if m1 != m2 {
+		t.Fatalf("non-deterministic: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	m := Run(nil, &fifoServer{service: 1})
+	if m.Total != 0 || m.ResponseRate != 0 {
+		t.Fatalf("empty run = %+v", m)
+	}
+}
+
+func TestCompletionResponded(t *testing.T) {
+	q := Query{DeadlineNanos: 100}
+	if !(Completion{Query: q, DoneNanos: 100}).Responded() {
+		t.Fatal("on-deadline completion must respond")
+	}
+	if (Completion{Query: q, DoneNanos: 101}).Responded() {
+		t.Fatal("late completion responded")
+	}
+	if (Completion{Query: q, DoneNanos: 50, Dropped: true}).Responded() {
+		t.Fatal("dropped completion responded")
+	}
+}
+
+func TestQueriesFromTicks(t *testing.T) {
+	ticks := []feed.Tick{{TimeNanos: 100}, {TimeNanos: 250}}
+	qs := QueriesFromTicks(ticks, 1000)
+	if len(qs) != 2 || qs[0].DeadlineNanos != 1100 || qs[1].ArrivalNanos != 250 {
+		t.Fatalf("queries = %+v", qs)
+	}
+	if qs[1].Remaining(250) != 1000 {
+		t.Fatalf("remaining = %d", qs[1].Remaining(250))
+	}
+}
+
+func TestDuplicateCompletionsCountedOnce(t *testing.T) {
+	queries := []Query{{ID: 0, ArrivalNanos: 0, DeadlineNanos: 100}}
+	m := computeMetrics(queries, []Completion{
+		{Query: queries[0], DoneNanos: 50},
+		{Query: queries[0], DoneNanos: 60},
+	})
+	if m.Responded != 1 || m.Unaccounted != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor of arbitrary rank.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data with the given shape; data is not copied.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, have %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions. The slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total element count.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the backing slice (row-major).
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.data))
+	copy(d, t.data)
+	return FromSlice(d, t.shape...)
+}
+
+// Reshape returns a view with a new shape sharing the same data.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// At2 reads element (i,j) of a rank-2 tensor.
+func (t *Tensor) At2(i, j int) float32 { return t.data[i*t.shape[1]+j] }
+
+// Set2 writes element (i,j) of a rank-2 tensor.
+func (t *Tensor) Set2(i, j int, v float32) { t.data[i*t.shape[1]+j] = v }
+
+// At3 reads element (c,h,w) of a rank-3 tensor.
+func (t *Tensor) At3(c, h, w int) float32 {
+	return t.data[(c*t.shape[1]+h)*t.shape[2]+w]
+}
+
+// Set3 writes element (c,h,w) of a rank-3 tensor.
+func (t *Tensor) Set3(c, h, w int, v float32) {
+	t.data[(c*t.shape[1]+h)*t.shape[2]+w] = v
+}
+
+// FillRandn fills the tensor with N(0, std²) values from rng.
+func (t *Tensor) FillRandn(rng *rand.Rand, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// RoundBF16 rounds every element through BF16 precision in place and
+// returns the tensor for chaining.
+func (t *Tensor) RoundBF16() *Tensor {
+	RoundSliceBF16(t.data)
+	return t
+}
+
+// MatMul computes a×b for rank-2 tensors [m,k]×[k,n] → [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b element-wise into a.
+func AddInPlace(a, b *Tensor) {
+	if len(a.data) != len(b.data) {
+		panic("tensor: add size mismatch")
+	}
+	for i := range a.data {
+		a.data[i] += b.data[i]
+	}
+}
+
+// Softmax computes the softmax over the last dimension of a rank-1 or
+// rank-2 tensor, returning a new tensor.
+func Softmax(t *Tensor) *Tensor {
+	out := t.Clone()
+	rows, cols := 1, t.Size()
+	if t.Rank() == 2 {
+		rows, cols = t.shape[0], t.shape[1]
+	}
+	for r := 0; r < rows; r++ {
+		row := out.data[r*cols : (r+1)*cols]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[i] = float32(e)
+			sum += e
+		}
+		for i := range row {
+			row[i] = float32(float64(row[i]) / sum)
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the maximum element.
+func Argmax(t *Tensor) int {
+	best, bestV := 0, t.data[0]
+	for i, v := range t.data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,300 @@
+// Package venue wraps the matching engine in real sockets: market data out
+// over UDP (the direct data feed of Fig. 2), iLink-style binary order entry
+// in over TCP. It is the substrate for cmd/exchange and the live-wire
+// example.
+package venue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/orderentry"
+)
+
+// ServerConfig configures the wire-level exchange simulator: market data
+// out over UDP (the direct data feed of Fig. 2), order entry in over TCP
+// with iLink-style binary frames, plus an optional background "noise
+// trader" that keeps the book moving so subscribers see realistic traffic.
+type ServerConfig struct {
+	// OrderAddr is the TCP listen address for order entry ("127.0.0.1:0"
+	// picks a free port).
+	OrderAddr string
+	// FeedAddr is the UDP destination market data is published to.
+	FeedAddr string
+	// SecurityID and Symbol define the single listed instrument.
+	SecurityID int32
+	Symbol     string
+	// MidPrice seeds the book around this price with Depth lots per level.
+	MidPrice int64
+	Depth    int64
+	// NoiseInterval is the mean gap between background order-flow events;
+	// zero disables the noise trader.
+	NoiseInterval time.Duration
+	// NoiseSeed makes the background flow deterministic.
+	NoiseSeed int64
+}
+
+// Server is a single-instrument exchange reachable over real sockets.
+type Server struct {
+	cfg      ServerConfig
+	ln       net.Listener
+	feedConn net.PacketConn
+	feedDst  net.Addr
+
+	// reqCh serialises all engine access onto the run goroutine.
+	reqCh chan serverReq
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type serverReq struct {
+	req   exchange.Request
+	reply chan []exchange.ExecReport
+}
+
+// NewServer binds the listener and feed socket; call Run to serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Symbol == "" || cfg.SecurityID == 0 {
+		return nil, errors.New("exchange: server needs a listed instrument")
+	}
+	ln, err := net.Listen("tcp", cfg.OrderAddr)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: order listener: %w", err)
+	}
+	feedConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("exchange: feed socket: %w", err)
+	}
+	feedDst, err := net.ResolveUDPAddr("udp", cfg.FeedAddr)
+	if err != nil {
+		ln.Close()
+		feedConn.Close()
+		return nil, fmt.Errorf("exchange: feed destination: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		feedConn: feedConn,
+		feedDst:  feedDst,
+		reqCh:    make(chan serverReq, 64),
+	}, nil
+}
+
+// OrderAddr returns the bound TCP order-entry address.
+func (s *Server) OrderAddr() net.Addr { return s.ln.Addr() }
+
+// Run serves until ctx is cancelled. It owns the matching engine: all
+// order-entry requests and noise-trader actions are serialised here,
+// mirroring the per-channel ordering of a real venue.
+func (s *Server) Run(ctx context.Context) error {
+	eng := exchange.New(func() int64 { return time.Now().UnixNano() }, func(buf []byte) {
+		_, _ = s.feedConn.WriteTo(buf, s.feedDst)
+	})
+	eng.ListSecurity(s.cfg.SecurityID, s.cfg.Symbol)
+	s.seedBook(eng)
+
+	go s.acceptLoop(ctx)
+
+	var noise *noiseTrader
+	noiseTick := time.NewTicker(time.Hour)
+	defer noiseTick.Stop()
+	if s.cfg.NoiseInterval > 0 {
+		noise = newNoiseTrader(s.cfg, eng)
+		noiseTick.Reset(s.cfg.NoiseInterval)
+	}
+
+	snapshotTick := time.NewTicker(time.Second)
+	defer snapshotTick.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			s.close()
+			return ctx.Err()
+		case r := <-s.reqCh:
+			r.reply <- eng.Submit(r.req)
+		case <-noiseTick.C:
+			if noise != nil {
+				noise.step()
+			}
+		case <-snapshotTick.C:
+			_ = eng.PublishSnapshot(s.cfg.SecurityID)
+		}
+	}
+}
+
+func (s *Server) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.ln.Close()
+		s.feedConn.Close()
+	}
+}
+
+// acceptLoop handles order-entry sessions.
+func (s *Server) acceptLoop(ctx context.Context) {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.serveConn(ctx, conn)
+	}
+}
+
+// serveConn reads iLink frames, submits them to the engine goroutine, and
+// writes ExecAck frames back. Sessions may open with the FIXP-style
+// Negotiate/Establish handshake (orderentry.VenueSession); clients that
+// send a business frame first run in legacy implicit-session mode.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 2048)
+	reply := make(chan []exchange.ExecReport, 1)
+	session := orderentry.NewVenueSession()
+	legacy := false
+	for {
+		n, err := conn.Read(tmp)
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+		buf = append(buf, tmp[:n]...)
+		for {
+			if sf, consumed, serr := orderentry.DecodeSessionFrame(buf); serr == nil {
+				buf = buf[consumed:]
+				out, stateErr := session.OnFrame(sf, time.Now().UnixNano())
+				if out != nil {
+					if _, werr := conn.Write(out); werr != nil {
+						return
+					}
+				}
+				if stateErr != nil || session.State() == orderentry.StateTerminated {
+					return
+				}
+				continue
+			} else if errors.Is(serr, orderentry.ErrILinkShort) {
+				break
+			}
+			frame, consumed, err := orderentry.DecodeFrame(buf)
+			if errors.Is(err, orderentry.ErrILinkShort) {
+				break
+			}
+			if err != nil {
+				return // protocol violation: drop session
+			}
+			buf = buf[consumed:]
+			if frame.Request == nil {
+				continue
+			}
+			switch session.State() {
+			case orderentry.StateEstablished:
+				_ = session.OnBusiness(time.Now().UnixNano())
+			case orderentry.StateIdle:
+				legacy = true // implicit session for protocol-light clients
+			default:
+				if !legacy {
+					_, _ = conn.Write(orderentry.AppendTerminate(nil, session.UUID(),
+						orderentry.TerminateProtocolError))
+					return
+				}
+			}
+			select {
+			case s.reqCh <- serverReq{req: *frame.Request, reply: reply}:
+			case <-ctx.Done():
+				return
+			}
+			var out []byte
+			for _, rep := range <-reply {
+				out = orderentry.AppendExecAck(out, orderentry.ExecAck{
+					ClOrdID:    rep.ClOrdID,
+					Price:      rep.Price,
+					Qty:        rep.Qty,
+					SecurityID: rep.SecurityID,
+					Exec:       rep.Exec,
+				})
+			}
+			if len(out) > 0 {
+				if _, err := conn.Write(out); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// seedBook places initial depth.
+func (s *Server) seedBook(eng *exchange.Engine) {
+	depth := s.cfg.Depth
+	if depth <= 0 {
+		depth = 50
+	}
+	mid := s.cfg.MidPrice
+	if mid <= 0 {
+		mid = 450000
+	}
+	for lvl := int64(1); lvl <= lob.DepthLevels; lvl++ {
+		eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: s.cfg.SecurityID,
+			ClOrdID: uint64(lvl), Side: lob.Bid, Price: mid - lvl, Qty: depth})
+		eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: s.cfg.SecurityID,
+			ClOrdID: uint64(lvl + lob.DepthLevels), Side: lob.Ask, Price: mid + lvl, Qty: depth})
+	}
+}
+
+// noiseTrader submits random order flow to keep the feed alive.
+type noiseTrader struct {
+	cfg    ServerConfig
+	eng    *exchange.Engine
+	rng    *rand.Rand
+	nextID uint64
+	live   []uint64
+}
+
+func newNoiseTrader(cfg ServerConfig, eng *exchange.Engine) *noiseTrader {
+	return &noiseTrader{cfg: cfg, eng: eng, rng: rand.New(rand.NewSource(cfg.NoiseSeed)), nextID: 1 << 32}
+}
+
+func (n *noiseTrader) step() {
+	book, _ := n.eng.Book(n.cfg.SecurityID)
+	mid := n.cfg.MidPrice
+	if m, ok := book.Mid(); ok {
+		mid = int64(m)
+	}
+	n.nextID++
+	switch r := n.rng.Float64(); {
+	case r < 0.15 && len(n.live) > 0:
+		idx := n.rng.Intn(len(n.live))
+		id := n.live[idx]
+		n.live = append(n.live[:idx], n.live[idx+1:]...)
+		n.eng.Submit(exchange.Request{Kind: exchange.ReqCancel, SecurityID: n.cfg.SecurityID, ClOrdID: id})
+	case r < 0.25:
+		n.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: n.cfg.SecurityID, ClOrdID: n.nextID,
+			Side: lob.Side(n.rng.Intn(2)), Type: exchange.Market, Qty: int64(1 + n.rng.Intn(5))})
+	default:
+		side := lob.Side(n.rng.Intn(2))
+		off := 1 + n.rng.Int63n(8)
+		price := mid - off
+		if side == lob.Ask {
+			price = mid + off
+		}
+		n.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: n.cfg.SecurityID, ClOrdID: n.nextID,
+			Side: side, Price: price, Qty: int64(1 + n.rng.Intn(10))})
+		if _, resting := book.Order(n.nextID); resting {
+			n.live = append(n.live, n.nextID)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package venue
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/orderentry"
+	"lighttrader/internal/sbe"
+)
+
+// startServer boots a server publishing to a local UDP socket and returns
+// the order-entry address, the feed socket, and a cancel func.
+func startServer(t *testing.T, noise time.Duration) (net.Addr, net.PacketConn, context.CancelFunc) {
+	t.Helper()
+	feed, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		OrderAddr:     "127.0.0.1:0",
+		FeedAddr:      feed.LocalAddr().String(),
+		SecurityID:    7,
+		Symbol:        "ESU6",
+		MidPrice:      450000,
+		Depth:         100,
+		NoiseInterval: noise,
+		NoiseSeed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { _ = srv.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		feed.Close()
+	})
+	return srv.OrderAddr(), feed, cancel
+}
+
+func TestServerOrderEntryRoundTrip(t *testing.T) {
+	addr, feed, _ := startServer(t, 0)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Place a passive bid and expect an accept ack.
+	req := exchange.Request{Kind: exchange.ReqNew, SecurityID: 7, ClOrdID: 42, Side: lob.Bid, Price: 449995, Qty: 3}
+	if _, err := conn.Write(orderentry.AppendRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _, err := orderentry.DecodeFrame(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Ack == nil || frame.Ack.ClOrdID != 42 || frame.Ack.Exec != exchange.ExecAccepted {
+		t.Fatalf("ack = %+v", frame.Ack)
+	}
+
+	// The book change must be published on the feed.
+	feed.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pbuf := make([]byte, 4096)
+	for {
+		n, _, err := feed.ReadFrom(pbuf)
+		if err != nil {
+			t.Fatalf("no market data received: %v", err)
+		}
+		pkt, err := sbe.DecodePacket(pbuf[:n])
+		if err != nil {
+			t.Fatalf("bad packet: %v", err)
+		}
+		for _, m := range pkt.Messages {
+			if m.Incremental != nil {
+				for _, e := range m.Incremental.Entries {
+					if e.Price == 449995 && e.Qty == 103 { // 100 seeded + our 3
+						return // found our order's book update
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestServerCrossAcksFill(t *testing.T) {
+	addr, _, _ := startServer(t, 0)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Cross the seeded best ask at 450001.
+	req := exchange.Request{Kind: exchange.ReqNew, SecurityID: 7, ClOrdID: 99, Side: lob.Bid, Price: 450001, Qty: 2}
+	if _, err := conn.Write(orderentry.AppendRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	total := 0
+	var sawFill bool
+	for !sawFill {
+		n, err := conn.Read(buf[total:])
+		if err != nil {
+			t.Fatalf("read: %v (fill not seen)", err)
+		}
+		total += n
+		rest := buf[:total]
+		for {
+			frame, consumed, err := orderentry.DecodeFrame(rest)
+			if err != nil {
+				break
+			}
+			rest = rest[consumed:]
+			if frame.Ack != nil && frame.Ack.Exec == exchange.ExecFilled && frame.Ack.ClOrdID == 99 {
+				if frame.Ack.Price != 450001 || frame.Ack.Qty != 2 {
+					t.Fatalf("fill ack = %+v", frame.Ack)
+				}
+				sawFill = true
+			}
+		}
+	}
+}
+
+func TestServerNoiseTraderPublishes(t *testing.T) {
+	_, feed, _ := startServer(t, 2*time.Millisecond)
+	feed.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 4096)
+	// At least a handful of noise-driven packets must arrive.
+	for i := 0; i < 3; i++ {
+		n, _, err := feed.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if _, err := sbe.DecodePacket(buf[:n]); err != nil {
+			t.Fatalf("packet %d decode: %v", i, err)
+		}
+	}
+}
+
+func TestServerRejectsBadConfig(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestServerSessionHandshake(t *testing.T) {
+	addr, _, _ := startServer(t, 0)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	client := orderentry.NewClientSession(0xFEED)
+
+	send := func(buf []byte) {
+		t.Helper()
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvSession := func() orderentry.SessionFrame {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 4096)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := orderentry.DecodeSessionFrame(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	neg, err := client.Negotiate(time.Now().UnixNano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(neg)
+	if err := client.OnFrame(recvSession(), time.Now().UnixNano()); err != nil {
+		t.Fatal(err)
+	}
+	est, err := client.Establish(time.Now().UnixNano(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(est)
+	if err := client.OnFrame(recvSession(), time.Now().UnixNano()); err != nil {
+		t.Fatal(err)
+	}
+	if client.State() != orderentry.StateEstablished {
+		t.Fatalf("client state %v", client.State())
+	}
+
+	// Business traffic now flows on the established session.
+	send(orderentry.AppendRequest(nil, exchange.Request{
+		Kind: exchange.ReqNew, SecurityID: 7, ClOrdID: 555, Side: lob.Bid, Price: 449990, Qty: 1,
+	}))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _, err := orderentry.DecodeFrame(buf[:n])
+	if err != nil || frame.Ack == nil || frame.Ack.Exec != exchange.ExecAccepted {
+		t.Fatalf("ack = %+v err %v", frame, err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package lighttrader is a software reproduction of "LightTrader: A
+// Standalone High-Frequency Trading System with Deep Learning Inference
+// Accelerators and Proactive Scheduler" (HPCA 2023).
+//
+// It provides, behind one import path:
+//
+//   - the AI-enabled tick-to-trade pipeline (SBE market-data parsing,
+//     limit-order-book maintenance, the offload engine's feature maps, DNN
+//     inference, risk-checked order generation) — a fully functional
+//     trading stack;
+//   - the three benchmark networks (vanilla CNN, TransLOB, DeepLOB) with
+//     real forward passes, plus the deep-learning compiler that lowers
+//     them onto the modelled CGRA accelerator;
+//   - the proactive scheduler: PPW-driven workload scheduling
+//     (Algorithm 1) and DVFS power redistribution (Algorithm 2);
+//   - the back-test simulation framework, the bursty CME-like traffic
+//     generator, and GPU-/FPGA-based baseline system models.
+//
+// The quickest path from zero to a running back-test:
+//
+//	trace := lighttrader.GenerateTrace(lighttrader.DefaultTraceConfig(), 20000)
+//	sys, _ := lighttrader.NewLightTrader(lighttrader.NewDeepLOB(), 4,
+//	    lighttrader.Sufficient, lighttrader.SchedulerOptions{
+//	        WorkloadScheduling: true, DVFSScheduling: true})
+//	metrics := lighttrader.Backtest(trace, 20*time.Millisecond, sys)
+//	fmt.Printf("response rate: %.1f%%\n", 100*metrics.ResponseRate)
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory and per-experiment index.
+package lighttrader
+
+import (
+	"io"
+	"time"
+
+	"lighttrader/internal/baseline"
+	"lighttrader/internal/core"
+	"lighttrader/internal/feed"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/sim"
+	"lighttrader/internal/tensor"
+	"lighttrader/internal/trading"
+)
+
+// Model is a neural network with a real forward pass and per-layer FLOP
+// accounting.
+type Model = nn.Model
+
+// Direction is a predicted price movement (Down, Stationary, Up).
+type Direction = nn.Direction
+
+// Direction values.
+const (
+	Down       = nn.Down
+	Stationary = nn.Stationary
+	Up         = nn.Up
+)
+
+// Benchmark models (paper Table II).
+var (
+	// NewVanillaCNN builds the plain CNN baseline.
+	NewVanillaCNN = nn.NewVanillaCNN
+	// NewTransLOB builds the CNN+Transformer model.
+	NewTransLOB = nn.NewTransLOB
+	// NewDeepLOB builds the CNN+LSTM model.
+	NewDeepLOB = nn.NewDeepLOB
+)
+
+// Tick is one market-data event: encoded packet plus book snapshot.
+type Tick = feed.Tick
+
+// TraceConfig controls synthetic market-data generation.
+type TraceConfig = feed.GeneratorConfig
+
+// DefaultTraceConfig returns ES-like bursty tick traffic parameters.
+func DefaultTraceConfig() TraceConfig { return feed.DefaultGeneratorConfig() }
+
+// GenerateTrace produces a deterministic synthetic tick trace.
+func GenerateTrace(cfg TraceConfig, ticks int) []Tick {
+	gen, err := feed.NewGenerator(cfg)
+	if err != nil {
+		panic(err) // configs from DefaultTraceConfig cannot fail
+	}
+	return gen.Generate(ticks)
+}
+
+// WriteTrace serialises a trace; ReadTrace loads one.
+func WriteTrace(w io.Writer, symbol string, ticks []Tick) error {
+	return feed.WriteTrace(w, symbol, ticks)
+}
+
+// ReadTrace deserialises a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (string, []Tick, error) { return feed.ReadTrace(r) }
+
+// PowerCondition is a card-level power envelope.
+type PowerCondition = core.PowerCondition
+
+// The paper's two power conditions.
+var (
+	Sufficient = core.Sufficient
+	Limited    = core.Limited
+)
+
+// SchedulerOptions selects the proactive-scheduler features.
+type SchedulerOptions = core.Options
+
+// System is anything the back-test can drive: LightTrader or a baseline.
+type System = sim.SystemModel
+
+// Metrics summarises one back-test run.
+type Metrics = sim.Metrics
+
+// NewLightTrader assembles a simulated LightTrader appliance: model
+// compiled for the CGRA accelerator, n accelerators, the given power
+// condition, and scheduler options.
+func NewLightTrader(m *Model, n int, power PowerCondition, opts SchedulerOptions) (System, error) {
+	cfg, err := core.Configure(m, n, power, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem(cfg)
+}
+
+// NewGPUBaseline models the GPU-based comparison system (CPU + NIC + V100).
+func NewGPUBaseline(m *Model) System { return baseline.NewGPU(m) }
+
+// NewFPGABaseline models the FPGA-based comparison system (CPU + Alveo U250).
+func NewFPGABaseline(m *Model) System { return baseline.NewFPGA(m) }
+
+// Backtest replays a tick trace against a system with the given per-query
+// available time (t_avail) and returns the metrics. Runs are deterministic.
+func Backtest(ticks []Tick, tAvail time.Duration, sys System) Metrics {
+	return sim.Run(sim.QueriesFromTicks(ticks, tAvail.Nanoseconds()), sys)
+}
+
+// Pipeline is the functional tick-to-trade path: packet in, order out, with
+// a real DNN forward pass in the middle.
+type Pipeline = core.Pipeline
+
+// TradingConfig bounds the trading engine (order size, position limit,
+// confidence threshold).
+type TradingConfig = trading.Config
+
+// DefaultTradingConfig returns conservative limits for one instrument.
+func DefaultTradingConfig(securityID int32) TradingConfig {
+	return trading.DefaultConfig(securityID)
+}
+
+// Normalizer holds the offload engine's Z-score statistics.
+type Normalizer = offload.Normalizer
+
+// CalibrateNormalizer profiles Z-score statistics from historical ticks.
+func CalibrateNormalizer(ticks []Tick) Normalizer {
+	snaps := make([]lob.Snapshot, len(ticks))
+	for i := range ticks {
+		snaps[i] = ticks[i].Snapshot
+	}
+	return offload.Calibrate(snaps)
+}
+
+// NewPipeline assembles the functional pipeline for one instrument.
+func NewPipeline(symbol string, securityID int32, m *Model, norm Normalizer, tcfg TradingConfig) (*Pipeline, error) {
+	return core.NewPipeline(symbol, securityID, m, norm, tcfg)
+}
+
+// FunctionalReport summarises a packet-level back-test (orders, fills,
+// PnL marked to the final mid).
+type FunctionalReport = core.FunctionalReport
+
+// FunctionalBacktest replays a trace packet-by-packet through the
+// functional pipeline with an immediate-fill execution model.
+func FunctionalBacktest(ticks []Tick, p *Pipeline) (FunctionalReport, error) {
+	return core.FunctionalBacktest(ticks, p)
+}
+
+// Trainer performs SGD training (paper Fig. 3's offline training stage).
+// The CNN family and DeepLOB (via BPTT) are trainable; TransLOB's
+// transformer blocks are inference-only.
+type Trainer = nn.Trainer
+
+// NewTrainer validates trainability and returns a trainer.
+func NewTrainer(m *Model, lr float32) (*Trainer, error) { return nn.NewTrainer(m, lr) }
+
+// NewSizedCNN builds a CNN with the given width and depth — the trainable
+// model family (also the M1…M5 complexity ladder of paper Fig. 8).
+func NewSizedCNN(name string, channels, extraConvs int) *Model {
+	return nn.NewSizedCNN(name, channels, extraConvs)
+}
+
+// BuildDataset converts a tick trace into (feature map, label) training
+// pairs per paper Fig. 3: horizon is the prediction horizon in ticks,
+// threshold the relative mid move below which the label is Stationary.
+func BuildDataset(ticks []Tick, norm Normalizer, horizon int, threshold float64) ([]*tensor.Tensor, []Direction) {
+	return offload.BuildDataset(ticks, norm, horizon, threshold)
+}
+
+// Accuracy evaluates a model's classification accuracy over a dataset.
+func Accuracy(m *Model, xs []*tensor.Tensor, labels []Direction) (float64, error) {
+	return nn.Accuracy(m, xs, labels)
+}
+
+// Tensor is the dense float32 tensor type used for model inputs.
+type Tensor = tensor.Tensor
