@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full CI gate: formatting, static analysis, build, and the test suite
+# under the race detector.
+ci: fmt-check vet build race

@@ -2,10 +2,15 @@
 //
 // Usage:
 //
-//	ltbench                      # run everything
+//	ltbench                      # run everything, serially
+//	ltbench -parallel 4          # fan experiments across 4 workers (0 = GOMAXPROCS)
 //	ltbench -exp fig12           # one experiment: tableI…tableIII, fig8…fig13, ablations
 //	ltbench -ticks 40000         # trace length
 //	ltbench -tavail 20ms         # per-query available time
+//	ltbench -trace out.jsonl     # instrumented run: event log + miss attribution
+//
+// Output is identical for any -parallel value: experiments are independent
+// and each one runs serially, so only the wall time changes.
 package main
 
 import (
@@ -19,10 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, tableI, tableII, tableIII, fig8, fig9, fig11, fig12, fig13")
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, tableII, tableIII, fig8, fig9, fig11, fig12, fig13, ablations, or one ablation-* name")
 	ticks := flag.Int("ticks", 40000, "trace length in ticks")
 	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
 	seed := flag.Int64("seed", 1, "trace seed")
+	parallel := flag.Int("parallel", 1, "experiment worker count (0 = GOMAXPROCS)")
+	trace := flag.String("trace", "", "write an instrumented-run event log (JSONL) to this path")
 	flag.Parse()
 
 	tc := bench.DefaultTraffic()
@@ -30,37 +37,95 @@ func main() {
 	tc.TAvailNanos = tavail.Nanoseconds()
 	tc.Seed = *seed
 
-	run := func(name string, fn func() string) {
-		if *exp != "all" && !strings.EqualFold(*exp, name) {
-			return
+	start := time.Now()
+
+	if *trace != "" {
+		if err := writeTrace(tc, *trace); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
 		}
-		start := time.Now()
-		out := fn()
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("tableI", bench.RenderTableI)
-	run("tableII", bench.RenderTableII)
-	run("tableIII", bench.RenderTableIII)
-	run("fig8", func() string { return bench.RenderFig8(bench.Fig8(tc)) })
-	run("fig9", func() string { return bench.RenderFig9(bench.Fig9()) })
-	run("fig11", func() string { return bench.RenderFig11(bench.Fig11(tc)) })
-	run("fig12", func() string { return bench.RenderFig12(bench.Fig12(tc)) })
-	run("fig13", func() string { return bench.RenderFig13(bench.Fig13(tc)) })
-	run("ablations", func() string {
-		return bench.RenderAblationPrecision(bench.AblationPrecision()) + "\n" +
-			bench.RenderAblationPolicy(bench.AblationPolicy(tc)) + "\n" +
-			bench.RenderAblationSwitchDelay(bench.AblationSwitchDelay(tc)) + "\n" +
-			bench.RenderAblationBurstiness(bench.AblationBurstiness(tc))
-	})
+	selected := selectExperiments(bench.Experiments(tc), *exp)
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
 
-	if *exp != "all" {
-		switch strings.ToLower(*exp) {
-		case "tablei", "tableii", "tableiii", "fig8", "fig9", "fig11", "fig12", "fig13", "ablations":
+	if *parallel != 1 && len(selected) > 1 && needsTraffic(selected) {
+		// Warm the shared query cache once so concurrent workers don't
+		// each generate the same trace on first access.
+		tc.Queries()
+	}
+
+	results := bench.RunAll(selected, *parallel)
+	for _, r := range results {
+		fmt.Println(r.Output)
+		fmt.Printf("[%s completed in %v]\n\n", r.Name, r.Wall.Round(time.Millisecond))
+	}
+
+	var aggregate time.Duration
+	fmt.Printf("Per-experiment wall time (parallel=%d):\n", *parallel)
+	for _, r := range results {
+		fmt.Printf("  %-22s %v\n", r.Name, r.Wall.Round(time.Millisecond))
+		aggregate += r.Wall
+	}
+	fmt.Printf("  %-22s %v (sum of experiments)\n", "aggregate", aggregate.Round(time.Millisecond))
+	fmt.Printf("  %-22s %v\n", "total wall", time.Since(start).Round(time.Millisecond))
+}
+
+// selectExperiments filters the suite by the -exp flag; "ablations" keeps
+// the historical behaviour of running every ablation-* experiment.
+func selectExperiments(all []bench.Experiment, exp string) []bench.Experiment {
+	if strings.EqualFold(exp, "all") {
+		return all
+	}
+	var sel []bench.Experiment
+	for _, e := range all {
+		if strings.EqualFold(e.Name, exp) ||
+			(strings.EqualFold(exp, "ablations") && strings.HasPrefix(e.Name, "ablation-")) {
+			sel = append(sel, e)
+		}
+	}
+	return sel
+}
+
+// needsTraffic reports whether any selected experiment replays the tick
+// trace (the tables and fig9 are traffic-independent).
+func needsTraffic(sel []bench.Experiment) bool {
+	for _, e := range sel {
+		switch e.Name {
+		case "tableI", "tableII", "tableIII", "fig9", "ablation-precision":
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-			os.Exit(2)
+			return true
 		}
 	}
+	return false
+}
+
+// writeTrace runs the canonical instrumented configuration and writes its
+// event log, printing the per-cause miss attribution summary.
+func writeTrace(tc bench.TrafficConfig, path string) error {
+	start := time.Now()
+	m, tr := bench.TraceRun(tc)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Printf("Instrumented run: %s\n", m.System)
+	fmt.Printf("  total %d, responded %d (%.1f%%), dropped %d, late %d\n",
+		m.Total, m.Responded, 100*m.ResponseRate, m.Dropped, m.Late)
+	fmt.Print(indent(tr.Summary()))
+	fmt.Printf("  event log written to %s\n", path)
+	fmt.Printf("[trace completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
 }

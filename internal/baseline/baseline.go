@@ -95,10 +95,14 @@ type System struct {
 	energyJ      float64
 	lastEnergyAt int64
 	energyStart  bool
+
+	// probe observes queue events; nil outside instrumented runs.
+	probe sim.Probe
 }
 
 var _ sim.SystemModel = (*System)(nil)
 var _ sim.EnergyReporter = (*System)(nil)
+var _ sim.Instrumentable = (*System)(nil)
 
 // NewSystem builds a baseline system for the given profile.
 func NewSystem(p Profile, model string) *System {
@@ -130,6 +134,31 @@ func (s *System) Reset() {
 // EnergyJoules implements sim.EnergyReporter.
 func (s *System) EnergyJoules() float64 { return s.energyJ }
 
+// SetProbe implements sim.Instrumentable.
+func (s *System) SetProbe(p sim.Probe) { s.probe = p }
+
+func (s *System) emitQuery(e sim.QueryEvent) {
+	if s.probe != nil {
+		s.probe.OnQueryEvent(e)
+	}
+}
+
+// sample reports post-dispatch load and draw to the probe.
+func (s *System) sample(now int64) {
+	if s.probe == nil {
+		return
+	}
+	busy := 0
+	w := s.profile.IdleWatts
+	if s.busy {
+		busy = 1
+		w = s.profile.BusyWatts
+	}
+	s.probe.OnSample(sim.Sample{
+		TimeNanos: now, QueueDepth: len(s.queue), BusyAccels: busy, PowerWatts: w,
+	})
+}
+
 func (s *System) accrueEnergy(now int64) {
 	if !s.energyStart {
 		s.lastEnergyAt = now
@@ -153,6 +182,9 @@ func (s *System) OnArrival(now int64, q sim.Query) {
 	s.accrueEnergy(now)
 	s.lastNow = now
 	if len(s.queue) >= s.maxQueue {
+		s.emitQuery(sim.QueryEvent{
+			TimeNanos: now, Kind: sim.QueryEvict, Query: s.queue[0], Accel: -1,
+		})
 		s.pending = append(s.pending, sim.Completion{Query: s.queue[0], Dropped: true})
 		s.queue = s.queue[1:]
 	}
@@ -167,13 +199,24 @@ func (s *System) dispatch(now int64) {
 		head := s.queue[0]
 		s.queue = s.queue[1:]
 		if now+s.profile.ServiceNanos > head.DeadlineNanos {
+			// The single fixed-latency server cannot finish in time: a
+			// deadline-infeasible defer in the probe taxonomy.
+			s.emitQuery(sim.QueryEvent{
+				TimeNanos: now, Kind: sim.QueryDefer, Query: head,
+				Accel: -1, Cause: sim.CauseDeadline,
+			})
 			s.pending = append(s.pending, sim.Completion{Query: head, Dropped: true})
 			continue
 		}
 		s.busy = true
 		s.current = head
 		s.doneAt = now + s.profile.ServiceNanos
+		s.emitQuery(sim.QueryEvent{
+			TimeNanos: now, Kind: sim.QueryIssue, Query: head,
+			Accel: 0, Batch: 1, DoneNanos: s.doneAt,
+		})
 	}
+	s.sample(now)
 }
 
 // NextEventTime implements sim.SystemModel.

@@ -104,6 +104,35 @@ func TestBaselineDeadlineDrop(t *testing.T) {
 	}
 }
 
+func TestBaselineProbeAttribution(t *testing.T) {
+	// Flood the GPU baseline so both miss causes occur: queue-overflow
+	// evictions and deadline-infeasible defers. Every miss must be
+	// classified and the classes must sum to Dropped + Late.
+	sys := NewGPU(nn.NewVanillaCNN())
+	svc := sys.Profile().ServiceNanos
+	queries := make([]sim.Query, 300)
+	for i := range queries {
+		queries[i] = sim.Query{ID: int64(i), ArrivalNanos: int64(i), DeadlineNanos: int64(i) + 3*svc}
+	}
+	tr := sim.NewTracer()
+	m := sim.RunWithOptions(queries, sys, sim.WithProbe(tr))
+	if m.Dropped == 0 {
+		t.Fatal("flood produced no drops")
+	}
+	a := tr.Attribution()
+	if a.Evicted == 0 || a.DeferredDeadline == 0 {
+		t.Fatalf("expected both evictions and deadline defers, got %+v", a)
+	}
+	if a.Evicted+a.DeferredDeadline != m.Dropped || a.Total() != m.Dropped+m.Late {
+		t.Fatalf("attribution %+v does not account for %d dropped + %d late", a, m.Dropped, m.Late)
+	}
+	// Observe-only invariant for the baseline model too.
+	bare := sim.Run(queries, NewGPU(nn.NewVanillaCNN()))
+	if bare != m {
+		t.Fatalf("instrumented run diverged:\nbare   %+v\ntraced %+v", bare, m)
+	}
+}
+
 func TestBaselineFIFOOrder(t *testing.T) {
 	sys := NewFPGA(nn.NewVanillaCNN())
 	svc := sys.Profile().ServiceNanos

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"lighttrader/internal/core"
 	"lighttrader/internal/feed"
@@ -50,14 +51,39 @@ func DefaultTraffic() TrafficConfig {
 }
 
 // queryCache memoises generated query streams per config (trace generation
-// dominates experiment runtime otherwise).
-var queryCache = map[TrafficConfig][]sim.Query{}
+// dominates experiment runtime otherwise). queryCacheMu guards it: the
+// parallel experiment runner calls Queries from many goroutines. The cached
+// slices themselves are shared read-only across workers; system models
+// never retain or mutate them.
+var (
+	queryCacheMu sync.Mutex
+	queryCache   = map[TrafficConfig][]sim.Query{}
+)
 
-// Queries generates (or reuses) the deterministic query stream.
+// Queries generates (or reuses) the deterministic query stream. Safe for
+// concurrent use; every caller for one config observes the same slice.
 func (tc TrafficConfig) Queries() []sim.Query {
-	if qs, ok := queryCache[tc]; ok {
+	queryCacheMu.Lock()
+	qs, ok := queryCache[tc]
+	queryCacheMu.Unlock()
+	if ok {
 		return qs
 	}
+	qs = tc.generate()
+	queryCacheMu.Lock()
+	// A racing worker may have generated the same config first; keep one
+	// canonical slice (both are byte-identical — generation is seeded).
+	if cached, ok := queryCache[tc]; ok {
+		qs = cached
+	} else {
+		queryCache[tc] = qs
+	}
+	queryCacheMu.Unlock()
+	return qs
+}
+
+// generate builds the query stream outside the cache lock.
+func (tc TrafficConfig) generate() []sim.Query {
 	gcfg := feed.DefaultGeneratorConfig()
 	gcfg.Arrivals = feed.NewProcessMixture([]feed.ArrivalProcess{
 		feed.NewHawkes(tc.Calm, tc.Seed+1),
@@ -69,9 +95,7 @@ func (tc TrafficConfig) Queries() []sim.Query {
 	if err != nil {
 		panic(err) // static config; cannot fail
 	}
-	qs := sim.QueriesFromTicks(gen.Generate(tc.Ticks), tc.TAvailNanos)
-	queryCache[tc] = qs
-	return qs
+	return sim.QueriesFromTicks(gen.Generate(tc.Ticks), tc.TAvailNanos)
 }
 
 // Scale returns a copy with the tick count scaled by f (for -short runs).

@@ -65,10 +65,15 @@ type System struct {
 	lastEnergyAt int64
 	energyStart  bool
 	maxPowerW    float64
+
+	// probe observes scheduler-internal events; nil outside instrumented
+	// runs. Probes never influence decisions (determinism invariant).
+	probe sim.Probe
 }
 
 var _ sim.SystemModel = (*System)(nil)
 var _ sim.EnergyReporter = (*System)(nil)
+var _ sim.Instrumentable = (*System)(nil)
 
 // NewSystem builds a LightTrader system model.
 func NewSystem(cfg SystemConfig) (*System, error) {
@@ -141,6 +146,41 @@ func (s *System) startState() cgra.DVFSState {
 // EnergyJoules implements sim.EnergyReporter.
 func (s *System) EnergyJoules() float64 { return s.energyJ }
 
+// SetProbe implements sim.Instrumentable.
+func (s *System) SetProbe(p sim.Probe) { s.probe = p }
+
+// emitQuery/emitDVFS/sample forward events to the attached probe.
+func (s *System) emitQuery(e sim.QueryEvent) {
+	if s.probe != nil {
+		s.probe.OnQueryEvent(e)
+	}
+}
+
+func (s *System) emitDVFS(e sim.DVFSEvent) {
+	if s.probe != nil {
+		s.probe.OnDVFSEvent(e)
+	}
+}
+
+// sample reports post-scheduling load and draw to the probe.
+func (s *System) sample(now int64) {
+	if s.probe == nil {
+		return
+	}
+	busy := 0
+	for i := range s.accels {
+		if s.accels[i].busy {
+			busy++
+		}
+	}
+	s.probe.OnSample(sim.Sample{
+		TimeNanos:  now,
+		QueueDepth: len(s.queue),
+		BusyAccels: busy,
+		PowerWatts: s.totalDrawWatts(),
+	})
+}
+
 // accrueEnergy integrates accelerator power up to now.
 func (s *System) accrueEnergy(now int64) {
 	if !s.energyStart {
@@ -149,15 +189,7 @@ func (s *System) accrueEnergy(now int64) {
 		return
 	}
 	dt := float64(now-s.lastEnergyAt) / 1e9
-	var watts float64
-	for i := range s.accels {
-		a := &s.accels[i]
-		if a.busy {
-			watts += s.cfg.Sched.BusyPower(a.state)
-		} else {
-			watts += s.cfg.Sched.Spec.IdlePower(a.state)
-		}
-	}
+	watts := s.totalDrawWatts()
 	if watts > s.maxPowerW {
 		s.maxPowerW = watts
 	}
@@ -174,6 +206,9 @@ func (s *System) OnArrival(now int64, q sim.Query) {
 	s.lastNow = now
 	if len(s.queue) >= s.cfg.MaxQueue {
 		// Stale-tensor management: evict the oldest feature map.
+		s.emitQuery(sim.QueryEvent{
+			TimeNanos: now, Kind: sim.QueryEvict, Query: s.queue[0], Accel: -1,
+		})
 		s.pending = append(s.pending, sim.Completion{Query: s.queue[0], Dropped: true})
 		s.queue = s.queue[1:]
 	}
@@ -211,7 +246,14 @@ func (s *System) Advance(now int64) []sim.Completion {
 			a.batch = nil
 			if s.cfg.Sched.DVFSScheduling {
 				// Park the idle accelerator at the power floor.
-				a.state = s.cfg.Sched.Spec.DVFSTable()[0]
+				floor := s.cfg.Sched.Spec.DVFSTable()[0]
+				if a.state != floor {
+					s.emitDVFS(sim.DVFSEvent{
+						TimeNanos: now, Accel: i, Reason: sim.DVFSPark,
+						FromGHz: a.state.FreqGHz, ToGHz: floor.FreqGHz,
+					})
+				}
+				a.state = floor
 			}
 		}
 	}
@@ -219,13 +261,24 @@ func (s *System) Advance(now int64) []sim.Completion {
 	return out
 }
 
-// drawOf returns accelerator i's present power draw.
+// drawOf returns accelerator i's present power draw. It is the single
+// source of the busy/idle draw rule so probe sampling, energy accrual and
+// budget accounting cannot drift apart.
 func (s *System) drawOf(i int) float64 {
 	a := &s.accels[i]
 	if a.busy {
 		return s.cfg.Sched.BusyPower(a.state)
 	}
 	return s.cfg.Sched.Spec.IdlePower(a.state)
+}
+
+// totalDrawWatts is the instantaneous draw across all accelerators.
+func (s *System) totalDrawWatts() float64 {
+	var watts float64
+	for i := range s.accels {
+		watts += s.drawOf(i)
+	}
+	return watts
 }
 
 // powerAvailExcluding returns the unallocated budget if accelerator skip's
@@ -269,20 +322,27 @@ func (s *System) busyViews(now int64) []sched.BusyAccel {
 // work stalls for the switch delay and then proceeds scaled by the
 // frequency ratio. (The small fixed-time C2C/post share of the remaining
 // work is scaled along with it; it is ≪1% of t_total.)
-func (s *System) applyDVFS(i int, d cgra.DVFSState, now int64) {
+func (s *System) applyDVFS(i int, d cgra.DVFSState, now int64, reason sim.DVFSReason) {
 	a := &s.accels[i]
 	if a.state == d {
 		return
 	}
+	var retimed int64
 	if a.busy {
 		remaining := a.doneAt - now
 		if remaining < 0 {
 			remaining = 0
 		}
 		scaled := int64(float64(remaining) * a.state.FreqGHz / d.FreqGHz)
-		a.doneAt = now + s.cfg.Sched.Spec.DVFSSwitchNanos + scaled
+		newDone := now + s.cfg.Sched.Spec.DVFSSwitchNanos + scaled
+		retimed = newDone - a.doneAt
+		a.doneAt = newDone
 		a.retimes++
 	}
+	s.emitDVFS(sim.DVFSEvent{
+		TimeNanos: now, Accel: i, Reason: reason,
+		FromGHz: a.state.FreqGHz, ToGHz: d.FreqGHz, RetimedNanos: retimed,
+	})
 	a.state = d
 }
 
@@ -303,7 +363,8 @@ func (s *System) schedule(now int64) {
 		for len(s.queue) > 0 {
 			oldest := s.queue[0]
 			avail := oldest.Remaining(now) - s.cfg.PrePipelineNanos
-			issue, ok := sched.PickIssue(cfg, len(s.queue), avail, s.powerAvailExcluding(i), a.state)
+			issue, verdict := sched.PickIssueExplained(cfg, len(s.queue), avail, s.powerAvailExcluding(i), a.state)
+			ok := verdict == sched.VerdictIssued
 			if !ok && cfg.DVFSScheduling && !savedPower {
 				// Saving step: scale busy accelerators down within their
 				// deadline slack to make room, then retry once. A power
@@ -311,13 +372,18 @@ func (s *System) schedule(now int64) {
 				savedPower = true
 				if changes := sched.SavePower(cfg, s.busyViews(now)); len(changes) > 0 {
 					for _, ch := range changes {
-						s.applyDVFS(ch.ID, ch.DVFS, now)
+						s.applyDVFS(ch.ID, ch.DVFS, now, sim.DVFSSave)
 					}
 					continue
 				}
 			}
 			if !ok {
-				// Defer the oldest tensor to the conventional pipeline.
+				// Defer the oldest tensor to the conventional pipeline,
+				// attributed to the scheduler's decision reason.
+				s.emitQuery(sim.QueryEvent{
+					TimeNanos: now, Kind: sim.QueryDefer, Query: oldest,
+					Accel: -1, Cause: deferCause(verdict),
+				})
 				s.pending = append(s.pending, sim.Completion{Query: oldest, Dropped: true})
 				s.queue = s.queue[1:]
 				continue
@@ -325,11 +391,25 @@ func (s *System) schedule(now int64) {
 			batch := make([]sim.Query, issue.Batch)
 			copy(batch, s.queue[:issue.Batch])
 			s.queue = s.queue[issue.Batch:]
+			if a.state != issue.DVFS {
+				s.emitDVFS(sim.DVFSEvent{
+					TimeNanos: now, Accel: i, Reason: sim.DVFSAtIssue,
+					FromGHz: a.state.FreqGHz, ToGHz: issue.DVFS.FreqGHz,
+				})
+			}
 			a.busy = true
 			a.batch = batch
 			a.state = issue.DVFS
 			a.retimes = 0
 			a.doneAt = now + s.cfg.PrePipelineNanos + issue.TotalNanos
+			if s.probe != nil {
+				for _, q := range batch {
+					s.emitQuery(sim.QueryEvent{
+						TimeNanos: now, Kind: sim.QueryIssue, Query: q,
+						Accel: i, Batch: issue.Batch, DoneNanos: a.doneAt,
+					})
+				}
+			}
 			break
 		}
 	}
@@ -339,10 +419,9 @@ func (s *System) schedule(now int64) {
 		// queued work at the floor state.
 		views := s.retimableViews(now)
 		if len(views) > 0 {
-			var used float64
+			used := s.totalDrawWatts()
 			idle := 0
 			for i := range s.accels {
-				used += s.drawOf(i)
 				if !s.accels[i].busy {
 					idle++
 				}
@@ -355,9 +434,22 @@ func (s *System) schedule(now int64) {
 			reserve := float64(idle) * (cfg.BusyPower(floor) - cfg.Spec.IdlePower(floor))
 			avail := s.cfg.Sched.PowerBudgetWatts - used - reserve
 			for _, ch := range sched.Redistribute(cfg, views, avail) {
-				s.applyDVFS(ch.ID, ch.DVFS, now)
+				s.applyDVFS(ch.ID, ch.DVFS, now, sim.DVFSRedistribute)
 			}
 		}
+	}
+	s.sample(now)
+}
+
+// deferCause maps Algorithm 1's verdict onto the probe event taxonomy.
+func deferCause(v sched.Verdict) sim.DeferCause {
+	switch v {
+	case sched.VerdictDeadlineInfeasible:
+		return sim.CauseDeadline
+	case sched.VerdictPowerInfeasible:
+		return sim.CausePower
+	default:
+		return sim.CauseNone
 	}
 }
 

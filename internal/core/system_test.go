@@ -133,6 +133,87 @@ func TestQueueEvictionUnderFlood(t *testing.T) {
 	}
 }
 
+func TestProbeAttributionAccountsEveryMiss(t *testing.T) {
+	// Overload a small system so all three miss causes can occur, and check
+	// the tracer classifies every miss into exactly one cause: the class
+	// counts must sum to Metrics.Dropped + Metrics.Late.
+	queries := burstyQueries(t, 5000, 600_000)
+	for _, opts := range []Options{
+		{},
+		{WorkloadScheduling: true, DVFSScheduling: true},
+	} {
+		cfg, err := Configure(nn.NewDeepLOB(), 2, Limited, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.MaxQueue = 8 // force stale-tensor evictions under bursts
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := sim.NewTracer()
+		m := sim.RunWithOptions(queries, sys, sim.WithProbe(tr))
+		if m.Dropped == 0 {
+			t.Fatalf("%s: overload produced no drops", sys.Name())
+		}
+		a := tr.Attribution()
+		if a.DeferredOther != 0 {
+			t.Fatalf("%s: %d uncaused defers (core must always attach a verdict)", sys.Name(), a.DeferredOther)
+		}
+		if a.Evicted+a.DeferredDeadline+a.DeferredPower != m.Dropped {
+			t.Fatalf("%s: evicted %d + deferred %d/%d != dropped %d",
+				sys.Name(), a.Evicted, a.DeferredDeadline, a.DeferredPower, m.Dropped)
+		}
+		if a.Late != m.Late {
+			t.Fatalf("%s: late %d != metrics late %d", sys.Name(), a.Late, m.Late)
+		}
+		if a.Total() != m.Dropped+m.Late {
+			t.Fatalf("%s: attribution %+v does not sum to %d misses", sys.Name(), a, m.Dropped+m.Late)
+		}
+		if tr.Arrived() != m.Total {
+			t.Fatalf("%s: arrived %d != total %d", sys.Name(), tr.Arrived(), m.Total)
+		}
+	}
+}
+
+func TestProbeIsObserveOnly(t *testing.T) {
+	// The determinism invariant: attaching a probe must not change a run.
+	queries := burstyQueries(t, 3000, 1_000_000)
+	opts := Options{WorkloadScheduling: true, DVFSScheduling: true}
+	bare := sim.Run(queries, mustSystem(t, nn.NewDeepLOB(), 4, Limited, opts))
+	traced := sim.RunWithOptions(queries, mustSystem(t, nn.NewDeepLOB(), 4, Limited, opts),
+		sim.WithProbe(sim.NewTracer()))
+	if bare != traced {
+		t.Fatalf("instrumented run diverged:\nbare   %+v\ntraced %+v", bare, traced)
+	}
+}
+
+func TestProbeObservesDVFSAndLoad(t *testing.T) {
+	queries := burstyQueries(t, 4000, 20_000_000)
+	sys := mustSystem(t, nn.NewDeepLOB(), 4, Limited,
+		Options{WorkloadScheduling: true, DVFSScheduling: true})
+	tr := sim.NewTracer()
+	_ = sim.RunWithOptions(queries, sys, sim.WithProbe(tr))
+	if tr.DVFSTransitions(sim.DVFSPark) == 0 {
+		t.Fatal("DS never parked an idle accelerator")
+	}
+	if tr.DVFSTransitions(sim.DVFSAtIssue)+tr.DVFSTransitions(sim.DVFSRedistribute) == 0 {
+		t.Fatal("no issue/redistribute DVFS transitions observed")
+	}
+	p := tr.PowerStats()
+	if p.Samples == 0 || p.Max <= 0 {
+		t.Fatalf("power series empty: %+v", p)
+	}
+	// The sampled peak must agree with the system's own budget accounting.
+	if p.Max > sys.MaxObservedPowerWatts()+1e-9 {
+		t.Fatalf("sampled peak %.2f W above system max %.2f W", p.Max, sys.MaxObservedPowerWatts())
+	}
+	q := tr.QueueStats()
+	if q.Samples == 0 {
+		t.Fatal("queue series empty")
+	}
+}
+
 func TestConfigureValidation(t *testing.T) {
 	if _, err := NewSystem(SystemConfig{}); err == nil {
 		t.Fatal("empty config accepted")

@@ -127,6 +127,40 @@ type Issue struct {
 	TotalNanos int64
 }
 
+// Verdict explains Algorithm 1's outcome for one issue attempt — the
+// decision reason observability probes attach to defer events.
+type Verdict uint8
+
+const (
+	// VerdictIssued: a feasible (dvfs, batch) candidate was selected.
+	VerdictIssued Verdict = iota
+	// VerdictDeadlineInfeasible: every candidate missed the deadline — no
+	// state is fast enough for the oldest tensor's remaining time.
+	VerdictDeadlineInfeasible
+	// VerdictPowerInfeasible: at least one candidate met the deadline but
+	// the unallocated power budget blocked all of them (Algorithm 2's
+	// power-saving step may free budget and make a retry succeed).
+	VerdictPowerInfeasible
+	// VerdictNoQueue: nothing was queued; there was no decision to make.
+	VerdictNoQueue
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictIssued:
+		return "issued"
+	case VerdictDeadlineInfeasible:
+		return "deadline-infeasible"
+	case VerdictPowerInfeasible:
+		return "power-infeasible"
+	case VerdictNoQueue:
+		return "no-queue"
+	default:
+		return "Verdict(?)"
+	}
+}
+
 // PickIssue implements Algorithm 1. queued is the number of unscheduled
 // input tensors in the offload engine, availNanos the remaining available
 // time of the oldest queued tensor, powerAvail the unallocated power
@@ -137,9 +171,22 @@ type Issue struct {
 // (dvfs, batch) pair meets both the deadline and the power constraint, and
 // the caller must defer the oldest tensor to the conventional pipeline.
 func PickIssue(cfg *Config, queued int, availNanos int64, powerAvail float64, current cgra.DVFSState) (Issue, bool) {
+	issue, v := PickIssueExplained(cfg, queued, availNanos, powerAvail, current)
+	return issue, v == VerdictIssued
+}
+
+// PickIssueExplained is PickIssue with the decision reason: on failure it
+// distinguishes deadline-infeasible (no candidate fast enough) from
+// power-infeasible (a deadline-feasible candidate existed but the budget
+// blocked it), so defers can be attributed per cause.
+func PickIssueExplained(cfg *Config, queued int, availNanos int64, powerAvail float64, current cgra.DVFSState) (Issue, Verdict) {
+	if queued <= 0 {
+		return Issue{}, VerdictNoQueue
+	}
 	var best Issue
 	bestScore := 0.0
 	found := false
+	deadlineOK := false
 	// The PMIC/PLL transition overlaps the C2C input DMA: the supply ramps
 	// while the feature map streams in, so only the excess stalls the start.
 	overlap := cfg.Link.TransferNanos(cfg.Kernel.InputBytes)
@@ -159,6 +206,7 @@ func PickIssue(cfg *Config, queued int, availNanos int64, powerAvail float64, cu
 			if tTotal >= availNanos {
 				continue
 			}
+			deadlineOK = true
 			if cfg.BusyPower(d) >= powerAvail {
 				continue
 			}
@@ -170,7 +218,14 @@ func PickIssue(cfg *Config, queued int, availNanos int64, powerAvail float64, cu
 			}
 		}
 	}
-	return best, found
+	switch {
+	case found:
+		return best, VerdictIssued
+	case deadlineOK:
+		return Issue{}, VerdictPowerInfeasible
+	default:
+		return Issue{}, VerdictDeadlineInfeasible
+	}
 }
 
 // issueScore ranks a feasible candidate under the configured policy;

@@ -75,6 +75,50 @@ func TestPickIssuePowerInfeasible(t *testing.T) {
 	}
 }
 
+func TestPickIssueExplainedVerdicts(t *testing.T) {
+	cfg := testConfig(t, true, true)
+	cases := []struct {
+		name       string
+		queued     int
+		availNanos int64
+		powerAvail float64
+		want       Verdict
+	}{
+		{"issued", 4, 10_000_000, 55, VerdictIssued},
+		// 1 µs cannot fit a ≈117 µs inference at any state.
+		{"deadline", 4, 1_000, 55, VerdictDeadlineInfeasible},
+		// Deadline-feasible candidates exist but 0.1 W blocks them all.
+		{"power", 4, 10_000_000, 0.1, VerdictPowerInfeasible},
+		// Deadline dominates: with no feasible time budget the verdict is
+		// deadline-infeasible even when power would also have blocked.
+		{"deadline-over-power", 4, 1_000, 0.1, VerdictDeadlineInfeasible},
+		{"no-queue", 0, 10_000_000, 55, VerdictNoQueue},
+	}
+	for _, c := range cases {
+		issue, v := PickIssueExplained(cfg, c.queued, c.availNanos, c.powerAvail, cfg.StaticDVFS)
+		if v != c.want {
+			t.Errorf("%s: verdict = %v, want %v", c.name, v, c.want)
+		}
+		if (v == VerdictIssued) != (issue.Batch > 0) {
+			t.Errorf("%s: issue %+v inconsistent with verdict %v", c.name, issue, v)
+		}
+	}
+}
+
+func TestPickIssueMatchesExplained(t *testing.T) {
+	cfg := testConfig(t, true, true)
+	for _, avail := range []int64{1_000, 200_000, 10_000_000} {
+		for _, power := range []float64{0.1, 3, 55} {
+			issue, ok := PickIssue(cfg, 8, avail, power, cfg.StaticDVFS)
+			issue2, v := PickIssueExplained(cfg, 8, avail, power, cfg.StaticDVFS)
+			if ok != (v == VerdictIssued) || issue != issue2 {
+				t.Fatalf("avail=%d power=%v: PickIssue (%+v,%v) != Explained (%+v,%v)",
+					avail, power, issue, ok, issue2, v)
+			}
+		}
+	}
+}
+
 func TestPickIssueTightDeadlinePrefersFastState(t *testing.T) {
 	cfg := testConfig(t, false, true)
 	low := cfg.Spec.DVFSTable()[0]

@@ -69,10 +69,58 @@ type EnergyReporter interface {
 	EnergyJoules() float64
 }
 
+// RunOpts configures an instrumented run; the zero value reproduces the
+// plain Run behaviour exactly.
+type RunOpts struct {
+	// Probe observes the run. The engine emits arrive and complete events
+	// itself; systems implementing Instrumentable additionally emit issue,
+	// evict, defer, DVFS and load-sample events.
+	Probe Probe
+}
+
+// RunOption mutates RunOpts (functional options for RunWithOptions).
+type RunOption func(*RunOpts)
+
+// WithProbe attaches a probe to the run.
+func WithProbe(p Probe) RunOption { return func(o *RunOpts) { o.Probe = p } }
+
 // Run replays queries (which must be sorted by arrival time) through sys
 // and computes metrics. deterministic: same inputs → same outputs.
 func Run(queries []Query, sys SystemModel) Metrics {
+	return RunWithOptions(queries, sys)
+}
+
+// RunWithOptions is Run with observability options. Probes are strictly
+// observe-only: an instrumented run is bit-identical to a bare one.
+func RunWithOptions(queries []Query, sys SystemModel, opts ...RunOption) Metrics {
+	var o RunOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	sys.Reset()
+	if o.Probe != nil {
+		if in, ok := sys.(Instrumentable); ok {
+			in.SetProbe(o.Probe)
+			defer in.SetProbe(nil)
+		}
+	}
+	// observe forwards engine-visible lifecycle events: dropped completions
+	// are already attributed (evict/defer) by instrumented systems, so the
+	// engine reports only served completions.
+	observe := func(cs []Completion) {
+		if o.Probe == nil {
+			return
+		}
+		for _, c := range cs {
+			if c.Dropped {
+				continue
+			}
+			o.Probe.OnQueryEvent(QueryEvent{
+				TimeNanos: c.DoneNanos, Kind: QueryComplete, Query: c.Query,
+				Accel: -1, Batch: c.Batch, DoneNanos: c.DoneNanos,
+			})
+		}
+	}
 	completions := make([]Completion, 0, len(queries))
 	for _, q := range queries {
 		for {
@@ -80,7 +128,14 @@ func Run(queries []Query, sys SystemModel) Metrics {
 			if t == NoEvent || t > q.ArrivalNanos {
 				break
 			}
-			completions = append(completions, sys.Advance(t)...)
+			done := sys.Advance(t)
+			observe(done)
+			completions = append(completions, done...)
+		}
+		if o.Probe != nil {
+			o.Probe.OnQueryEvent(QueryEvent{
+				TimeNanos: q.ArrivalNanos, Kind: QueryArrive, Query: q, Accel: -1,
+			})
 		}
 		sys.OnArrival(q.ArrivalNanos, q)
 	}
@@ -89,9 +144,12 @@ func Run(queries []Query, sys SystemModel) Metrics {
 		if t == NoEvent {
 			break
 		}
-		completions = append(completions, sys.Advance(t)...)
+		done := sys.Advance(t)
+		observe(done)
+		completions = append(completions, done...)
 	}
 	m := computeMetrics(queries, completions)
+	m.System = sys.Name()
 	if er, ok := sys.(EnergyReporter); ok {
 		m.EnergyJoules = er.EnergyJoules()
 		if len(queries) > 1 {
@@ -172,11 +230,29 @@ func computeMetrics(queries []Query, completions []Completion) Metrics {
 			sum += l
 		}
 		m.MeanLatencyNanos = sum / int64(len(latencies))
-		m.P50LatencyNanos = latencies[len(latencies)/2]
-		m.P99LatencyNanos = latencies[len(latencies)*99/100]
+		m.P50LatencyNanos = percentile(latencies, 0.50)
+		m.P99LatencyNanos = percentile(latencies, 0.99)
 		m.MaxLatencyNanos = latencies[len(latencies)-1]
 	}
 	return m
+}
+
+// percentile returns the nearest-rank percentile (index ceil(p·n)-1) of a
+// sorted sample: the smallest value ≥ p of the distribution, never reading
+// past the maximum (the former len*99/100 truncation returned the max for
+// n=100).
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 // QueriesFromTicks converts a tick trace into a query stream with a fixed

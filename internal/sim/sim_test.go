@@ -139,6 +139,62 @@ func TestQueriesFromTicks(t *testing.T) {
 	}
 }
 
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []int64 { // 1, 2, …, n (sorted)
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []int64
+		p      float64
+		want   int64
+	}{
+		{"n=1 p50", seq(1), 0.50, 1},
+		{"n=1 p99", seq(1), 0.99, 1},
+		{"n=2 p50", seq(2), 0.50, 1},
+		{"n=2 p99", seq(2), 0.99, 2},
+		{"n=100 p50", seq(100), 0.50, 50},
+		// The old len*99/100 truncation returned index 99 (the max) here;
+		// nearest-rank ceil(0.99·100)-1 = 98.
+		{"n=100 p99", seq(100), 0.99, 99},
+		{"n=100 p100", seq(100), 1.00, 100},
+		{"n=101 p99", seq(101), 0.99, 100},
+		{"empty", nil, 0.99, 0},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestComputeMetricsUnaccounted(t *testing.T) {
+	queries := []Query{
+		{ID: 0, ArrivalNanos: 0, DeadlineNanos: 100},
+		{ID: 1, ArrivalNanos: 10, DeadlineNanos: 110},
+		{ID: 2, ArrivalNanos: 20, DeadlineNanos: 120},
+	}
+	// Query 1 never completes (a system bug the metrics must surface).
+	m := computeMetrics(queries, []Completion{
+		{Query: queries[0], DoneNanos: 50},
+		{Query: queries[2], Dropped: true},
+	})
+	if m.Responded != 1 || m.Dropped != 1 || m.Unaccounted != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRunSetsSystemName(t *testing.T) {
+	m := Run(nil, &fifoServer{service: 1})
+	if m.System != "fifo" {
+		t.Fatalf("System = %q, want fifo", m.System)
+	}
+}
+
 func TestDuplicateCompletionsCountedOnce(t *testing.T) {
 	queries := []Query{{ID: 0, ArrivalNanos: 0, DeadlineNanos: 100}}
 	m := computeMetrics(queries, []Completion{
