@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,21 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Kernel/inference micro-benchmarks (GEMM, conv, LSTM, model inference),
+# archived as JSON so runs can be diffed. See EXPERIMENTS.md.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run=^$$ -bench=. -benchmem ./internal/tensor/ ./internal/nn/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 
-# The full CI gate: formatting, static analysis, build, and the test suite
-# under the race detector.
-ci: fmt-check vet build race
+# Every benchmark in the repo (including the sim-engine harness).
+bench-all:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# One iteration of each kernel benchmark: a CI-speed check that the
+# benchmark code itself still compiles and runs.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/tensor/ ./internal/nn/
+
+# The full CI gate: formatting, static analysis, build, the test suite
+# under the race detector, and a single-iteration benchmark smoke run.
+ci: fmt-check vet build race bench-smoke

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lighttrader/internal/tensor
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMatMul/64x64x64-1         	    9268	    128015 ns/op	       0 B/op	       0 allocs/op
+BenchmarkModelInfer/DeepLOB-1      	     183	   6549731 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-1                   	     100	     50000 ns/op
+PASS
+ok  	lighttrader/internal/tensor	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header = %q %q %q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkMatMul/64x64x64-1" || r0.Iterations != 9268 ||
+		r0.NsPerOp != 128015 || r0.BytesPerOp != 0 || r0.AllocsPerOp != 0 {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	// A line without -benchmem columns reports -1 (not measured), not 0.
+	r2 := rep.Results[2]
+	if r2.BytesPerOp != -1 || r2.AllocsPerOp != -1 {
+		t.Errorf("no-benchmem result = %+v", r2)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	in := "BenchmarkBroken-1 not numbers ns/op\nBenchmarkAlso bad\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("got %d results from malformed input", len(rep.Results))
+	}
+}

@@ -8,9 +8,13 @@
 //	ltbench -ticks 40000         # trace length
 //	ltbench -tavail 20ms         # per-query available time
 //	ltbench -trace out.jsonl     # instrumented run: event log + miss attribution
+//	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
+//	ltbench -blocksize 256       # GEMM k-panel cache block size
 //
 // Output is identical for any -parallel value: experiments are independent
-// and each one runs serially, so only the wall time changes.
+// and each one runs serially, so only the wall time changes. The -workers
+// and -blocksize knobs tune the tensor compute backend (see DESIGN.md,
+// "Compute backend"); they change wall time only, never results.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"lighttrader/internal/bench"
+	"lighttrader/internal/tensor"
 )
 
 func main() {
@@ -30,7 +35,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace seed")
 	parallel := flag.Int("parallel", 1, "experiment worker count (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write an instrumented-run event log (JSONL) to this path")
+	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
+	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	flag.Parse()
+
+	tensor.SetWorkers(*workers)
+	tensor.SetBlockSize(*blocksize)
 
 	tc := bench.DefaultTraffic()
 	tc.Ticks = *ticks

@@ -31,6 +31,10 @@ func CompileFor(m *nn.Model, spec cgra.Spec, prec cgra.Precision) (*cgra.Kernel,
 	}
 	lspec := spec
 	lspec.SIMDLanes = spec.SIMDLanes * prec.LaneMultiplier()
+	// The FMT streams bytes: halving the element size (BF16→INT8) doubles
+	// its element throughput, so layout passes (im2col unfolds, flatten,
+	// CHW→sequence transposes) ride the narrower datatype too.
+	lspec.FMTBandwidth = spec.FMTBandwidth * 2 / int(prec.ElementBytes())
 	k := &cgra.Kernel{ModelName: m.Name(), Precision: prec}
 	shape := m.InputShape
 	for i, layer := range m.Layers {
@@ -115,6 +119,14 @@ func lower(layer nn.Layer, in []int, spec cgra.Spec) ([]cgra.Hyperblock, error) 
 			int64(prodInts(in))*2, // activations in
 			int64(outElems)*2,     // activations out
 			l.Params()*2)          // weights (streamed once, amortised)
+		// The FMT unfolds the input into the [K, oh·ow] im2col patch matrix
+		// feeding the matmul pass, mirroring the host backend's lowering
+		// (nn.Conv2D.ForwardCtx); a 1×1 stride-1 unpadded convolution reads
+		// the activations in place and skips the unfold.
+		if !(l.KH == 1 && l.KW == 1 && l.SH == 1 && l.SW == 1 && l.PadH == 0 && l.PadW == 0) {
+			patches := K * out[1] * out[2]
+			hb.FMTCycles += int64((patches + spec.FMTBandwidth - 1) / spec.FMTBandwidth)
+		}
 		hb.NeedsEPE = actNeedsEPE(l.Act)
 		hb.FLOPs = l.FLOPs(in)
 		return []cgra.Hyperblock{hb}, nil

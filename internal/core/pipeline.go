@@ -165,6 +165,7 @@ func (p *Pipeline) onTick(timeNanos int64) ([]exchange.Request, error) {
 	var orders []exchange.Request
 	for _, in := range p.offl.PopBatch(p.offl.Ready()) {
 		dir, conf, err := p.model.Predict(in.Tensor)
+		p.offl.Recycle(in.Tensor) // feature map consumed; reuse its storage
 		if err != nil {
 			return orders, fmt.Errorf("core: inference: %w", err)
 		}

@@ -37,12 +37,15 @@ func (l *LayerNorm) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if _, err := l.OutShape(x.Shape()); err != nil {
-		panic(err)
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor { return l.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer.
+func (l *LayerNorm) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.Dim {
+		panic(fmt.Sprintf("nn: %s expects [T,%d], got %v", l.Name(), l.Dim, x.Shape()))
 	}
 	T := x.Dim(0)
-	out := tensor.New(T, l.Dim)
+	out := newTensor(p, T, l.Dim)
 	const eps = 1e-5
 	for t := 0; t < T; t++ {
 		row := x.Data()[t*l.Dim : (t+1)*l.Dim]
@@ -101,19 +104,26 @@ func (PositionalEncoding) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (e PositionalEncoding) Forward(x *tensor.Tensor) *tensor.Tensor { return e.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer, hoisting the per-column frequency (the
+// math.Pow) out of the time loop; the per-element arithmetic is unchanged,
+// so outputs are bit-identical to the naive column-inner loop.
+func (PositionalEncoding) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
 	T, D := x.Dim(0), x.Dim(1)
-	out := x.Clone()
-	for t := 0; t < T; t++ {
-		for i := 0; i < D; i++ {
-			angle := float64(t) / math.Pow(10000, float64(2*(i/2))/float64(D))
-			var pe float64
-			if i%2 == 0 {
-				pe = math.Sin(angle)
-			} else {
-				pe = math.Cos(angle)
+	out := newTensor(p, T, D)
+	of := out.Data()
+	copy(of, x.Data())
+	for i := 0; i < D; i++ {
+		freq := math.Pow(10000, float64(2*(i/2))/float64(D))
+		if i%2 == 0 {
+			for t := 0; t < T; t++ {
+				of[t*D+i] += float32(math.Sin(float64(t) / freq))
 			}
-			out.Data()[t*D+i] += float32(pe)
+		} else {
+			for t := 0; t < T; t++ {
+				of[t*D+i] += float32(math.Cos(float64(t) / freq))
+			}
 		}
 	}
 	return out
@@ -174,39 +184,33 @@ func (b *TransformerBlock) OutShape(in []int) ([]int, error) {
 	return in, nil
 }
 
-// project computes x·Wᵀ + b for a [T,D] input and [D,D] weight.
-func (b *TransformerBlock) project(x, w *tensor.Tensor, bias []float32) *tensor.Tensor {
-	T := x.Dim(0)
-	out := tensor.New(T, b.Dim)
-	wf := w.Data()
-	for t := 0; t < T; t++ {
-		row := x.Data()[t*b.Dim : (t+1)*b.Dim]
-		orow := out.Data()[t*b.Dim : (t+1)*b.Dim]
-		for o := 0; o < b.Dim; o++ {
-			sum := bias[o]
-			wrow := wf[o*b.Dim : (o+1)*b.Dim]
-			for i, v := range row {
-				sum += wrow[i] * v
-			}
-			orow[o] = sum
-		}
-	}
+// project computes x·Wᵀ + b for a [T,D] input and [D,D] weight as one
+// batched GEMM over all T rows.
+func (b *TransformerBlock) project(p *tensor.Pool, x, w *tensor.Tensor, bias []float32) *tensor.Tensor {
+	out := newTensor(p, x.Dim(0), b.Dim)
+	tensor.Gemm(1, x, false, w, true, 0, out)
+	tensor.AddBias(out, bias)
 	return out
 }
 
 // Forward implements Layer.
-func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if _, err := b.OutShape(x.Shape()); err != nil {
-		panic(err)
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor { return b.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer. The Q/K/V/O projections and the two
+// feed-forward layers each run as a single batched GEMM over all T rows
+// instead of per-row dot loops.
+func (b *TransformerBlock) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != b.Dim {
+		panic(fmt.Sprintf("nn: %s expects [T,%d], got %v", b.Name(), b.Dim, x.Shape()))
 	}
 	T := x.Dim(0)
 	// Self-attention sublayer.
-	n := b.ln1.Forward(x)
-	q := b.project(n, b.wq, b.bq)
-	k := b.project(n, b.wk, b.bk)
-	v := b.project(n, b.wv, b.bv)
-	attnOut := tensor.New(T, b.Dim)
-	scores := make([]float32, T)
+	n := b.ln1.ForwardCtx(p, x)
+	q := b.project(p, n, b.wq, b.bq)
+	k := b.project(p, n, b.wk, b.bk)
+	v := b.project(p, n, b.wv, b.bv)
+	attnOut := newTensor(p, T, b.Dim)
+	scores := newSlice(p, T)
 	for h := 0; h < b.Heads; h++ {
 		off := h * b.headDim
 		for ti := 0; ti < T; ti++ {
@@ -244,17 +248,18 @@ func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	proj := b.project(attnOut, b.wo, b.bo)
+	proj := b.project(p, attnOut, b.wo, b.bo)
 	tensor.AddInPlace(proj, x) // residual
-	// Feed-forward sublayer.
-	n2 := b.ln2.Forward(proj)
-	ffOut := tensor.New(T, b.Dim)
-	for t := 0; t < T; t++ {
-		row := tensor.FromSlice(n2.Data()[t*b.Dim:(t+1)*b.Dim], b.Dim)
-		h := b.ff1.Forward(row)
-		o := b.ff2.Forward(h)
-		copy(ffOut.Data()[t*b.Dim:(t+1)*b.Dim], o.Data())
-	}
+	// Feed-forward sublayer, batched over all T rows.
+	n2 := b.ln2.ForwardCtx(p, proj)
+	hid := newTensor(p, T, b.FF)
+	tensor.Gemm(1, n2, false, b.ff1.w, true, 0, hid)
+	tensor.AddBias(hid, b.ff1.b)
+	applyAct(b.ff1.Act, hid.Data())
+	ffOut := newTensor(p, T, b.Dim)
+	tensor.Gemm(1, hid, false, b.ff2.w, true, 0, ffOut)
+	tensor.AddBias(ffOut, b.ff2.b)
+	applyAct(b.ff2.Act, ffOut.Data())
 	tensor.AddInPlace(ffOut, proj)
 	return ffOut
 }

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"lighttrader/internal/tensor"
+)
+
+// BenchmarkConv2DForward measures the im2col+GEMM convolution on a
+// DeepLOB-sized layer ([16,100,20] input, 16→16 channels, 4×1 kernel).
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(16, 16, 4, 1, 1, 1, 2, 0, ActLeakyReLU)
+	c.Init(rng)
+	x := tensor.New(16, 100, 20)
+	x.FillRandn(rng, 1)
+	var p tensor.Pool
+	c.ForwardCtx(&p, x) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		c.ForwardCtx(&p, x)
+	}
+}
+
+// BenchmarkLSTMStep measures one LSTM time step (T=1) at DeepLOB size.
+func BenchmarkLSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(96, 64, true)
+	l.Init(rng)
+	x := tensor.New(1, 96)
+	x.FillRandn(rng, 1)
+	var p tensor.Pool
+	l.ForwardCtx(&p, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		l.ForwardCtx(&p, x)
+	}
+}
+
+// BenchmarkLSTMSequence measures a full T=100 sequence forward.
+func BenchmarkLSTMSequence(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(96, 64, true)
+	l.Init(rng)
+	x := tensor.New(100, 96)
+	x.FillRandn(rng, 1)
+	var p tensor.Pool
+	l.ForwardCtx(&p, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		l.ForwardCtx(&p, x)
+	}
+}
+
+// BenchmarkModelInfer measures a full zero-alloc inference (warmed pool)
+// for each paper model.
+func BenchmarkModelInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range BenchmarkModels() {
+		m.Init(7)
+		x := tensor.New(m.InputShape...)
+		x.FillRandn(rng, 1)
+		b.Run(m.Name(), func(b *testing.B) {
+			var p tensor.Pool
+			if _, err := m.Infer(&p, x); err != nil { // warm the arena
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Infer(&p, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelPredict measures the end-to-end Predict path (pooled
+// scratch via sync.Pool), the call the trading pipeline makes per tick.
+func BenchmarkModelPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range BenchmarkModels() {
+		m.Init(7)
+		x := tensor.New(m.InputShape...)
+		x.FillRandn(rng, 1)
+		b.Run(m.Name(), func(b *testing.B) {
+			if _, _, err := m.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Predict(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -57,42 +57,94 @@ func (c *Conv2D) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	outShape, err := c.OutShape(x.Shape())
-	if err != nil {
-		panic(err)
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor { return c.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer. The convolution is computed as im2col +
+// GEMM: the input is unfolded into a [InC·KH·KW, oh·ow] patch matrix, then
+// one [OutC,K]×[K,N] multiply on the blocked GEMM backend produces all
+// output channels, with the bias add and activation fused over each output
+// row. 1×1/stride-1/unpadded convolutions skip the unfold and multiply
+// against the input data directly.
+func (c *Conv2D) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", c.Name(), c.InC, x.Shape()))
 	}
 	h, w := x.Dim(1), x.Dim(2)
-	oh, ow := outShape[1], outShape[2]
-	out := tensor.New(c.OutC, oh, ow)
-	wf := c.w.Data()
+	oh := (h+2*c.PadH-c.KH)/c.SH + 1
+	ow := (w+2*c.PadW-c.KW)/c.SW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s output collapses for input %v", c.Name(), x.Shape()))
+	}
+	k := c.InC * c.KH * c.KW
+	n := oh * ow
+	var cols *tensor.Tensor
+	if c.KH == 1 && c.KW == 1 && c.SH == 1 && c.SW == 1 && c.PadH == 0 && c.PadW == 0 {
+		cols = viewTensor(p, x.Data(), k, n)
+	} else {
+		cols = viewTensor(p, c.im2col(p, x, oh, ow), k, n)
+	}
+	out := newTensor(p, c.OutC, oh, ow)
+	wv := viewTensor(p, c.w.Data(), c.OutC, k)
+	ov := viewTensor(p, out.Data(), c.OutC, n)
+	tensor.MatMulInto(ov, wv, cols)
+	of := out.Data()
 	for oc := 0; oc < c.OutC; oc++ {
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*c.SH - c.PadH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*c.SW - c.PadW
-				sum := c.b[oc]
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
+		row := of[oc*n : (oc+1)*n]
+		if bv := c.b[oc]; bv != 0 {
+			for i := range row {
+				row[i] += bv
+			}
+		}
+		applyAct(c.Act, row)
+	}
+	return out
+}
+
+// im2col unfolds x into the [InC·KH·KW, oh·ow] patch matrix. Row
+// (ic·KH+ky)·KW+kx holds, for every output position, the input value the
+// kernel tap (ic,ky,kx) reads; out-of-image taps stay zero. For unit
+// horizontal stride each row segment is a contiguous copy of the input row
+// clamped at the image edges.
+func (c *Conv2D) im2col(p *tensor.Pool, x *tensor.Tensor, oh, ow int) []float32 {
+	h, w := x.Dim(1), x.Dim(2)
+	n := oh * ow
+	cols := newSlice(p, c.InC*c.KH*c.KW*n)
+	xf := x.Data()
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.KH; ky++ {
+			for kx := 0; kx < c.KW; kx++ {
+				dst := cols[((ic*c.KH+ky)*c.KW+kx)*n:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.SH - c.PadH + ky
+					if iy < 0 || iy >= h {
+						continue // padding row: stays zero
+					}
+					drow := dst[oy*ow : (oy+1)*ow]
+					srow := xf[(ic*h+iy)*w : (ic*h+iy+1)*w]
+					if c.SW == 1 {
+						// Clamp the contiguous copy at the image edges.
+						o0, ix := 0, kx-c.PadW
+						if ix < 0 {
+							o0, ix = -ix, 0
 						}
-						wrow := wf[((oc*c.InC+ic)*c.KH+ky)*c.KW:]
-						for kx := 0; kx < c.KW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
+						if end := ix + (ow - o0); end <= w {
+							copy(drow[o0:], srow[ix:end])
+						} else {
+							copy(drow[o0:], srow[ix:])
+						}
+					} else {
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*c.SW - c.PadW + kx
+							if ix >= 0 && ix < w {
+								drow[ox] = srow[ix]
 							}
-							sum += wrow[kx] * x.At3(ic, iy, ix)
 						}
 					}
 				}
-				out.Set3(oc, oy, ox, c.Act.apply(sum))
 			}
 		}
 	}
-	return out
+	return cols
 }
 
 // FLOPs implements Layer.
@@ -157,24 +209,36 @@ func (p *MaxPool2D) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
-	outShape, err := p.OutShape(x.Shape())
-	if err != nil {
-		panic(err)
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor { return p.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer, scanning each window by direct row slices.
+func (p *MaxPool2D) ForwardCtx(pool *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: maxpool expects rank 3, got %v", x.Shape()))
 	}
-	out := tensor.New(outShape...)
-	for c := 0; c < outShape[0]; c++ {
-		for oy := 0; oy < outShape[1]; oy++ {
-			for ox := 0; ox < outShape[2]; ox++ {
-				best := x.At3(c, oy*p.SH, ox*p.SW)
+	ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh := (h-p.KH)/p.SH + 1
+	ow := (w-p.KW)/p.SW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: maxpool output collapses for input %v", x.Shape()))
+	}
+	out := newTensor(pool, ch, oh, ow)
+	xf, of := x.Data(), out.Data()
+	for c := 0; c < ch; c++ {
+		plane := xf[c*h*w : (c+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			orow := of[(c*oh+oy)*ow : (c*oh+oy+1)*ow]
+			for ox := 0; ox < ow; ox++ {
+				best := plane[oy*p.SH*w+ox*p.SW]
 				for ky := 0; ky < p.KH; ky++ {
-					for kx := 0; kx < p.KW; kx++ {
-						if v := x.At3(c, oy*p.SH+ky, ox*p.SW+kx); v > best {
+					win := plane[(oy*p.SH+ky)*w+ox*p.SW : (oy*p.SH+ky)*w+ox*p.SW+p.KW]
+					for _, v := range win {
+						if v > best {
 							best = v
 						}
 					}
 				}
-				out.Set3(c, oy, ox, best)
+				orow[ox] = best
 			}
 		}
 	}
@@ -233,26 +297,35 @@ func (in *Inception) OutShape(shape []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (in *Inception) Forward(x *tensor.Tensor) *tensor.Tensor {
-	outShape, err := in.OutShape(x.Shape())
-	if err != nil {
-		panic(err)
+func (in *Inception) Forward(x *tensor.Tensor) *tensor.Tensor { return in.ForwardCtx(nil, x) }
+
+// maxInceptionBranches bounds the on-stack branch-output scratch in
+// ForwardCtx; DeepLOB uses 3.
+const maxInceptionBranches = 8
+
+// ForwardCtx implements Layer: branch outputs are [bc,H,W] blocks, so the
+// channel concatenation is one contiguous copy per branch.
+func (in *Inception) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if len(in.Branches) > maxInceptionBranches {
+		panic(fmt.Sprintf("nn: inception supports at most %d branches, got %d", maxInceptionBranches, len(in.Branches)))
 	}
-	out := tensor.New(outShape...)
-	cOff := 0
-	for _, branch := range in.Branches {
+	var outs [maxInceptionBranches]*tensor.Tensor
+	totalC := 0
+	for bi, branch := range in.Branches {
 		cur := x
 		for _, l := range branch {
-			cur = l.Forward(cur)
+			cur = l.ForwardCtx(p, cur)
 		}
-		for c := 0; c < cur.Dim(0); c++ {
-			for h := 0; h < cur.Dim(1); h++ {
-				for w := 0; w < cur.Dim(2); w++ {
-					out.Set3(cOff+c, h, w, cur.At3(c, h, w))
-				}
-			}
+		if cur.Rank() != 3 || (bi > 0 && (cur.Dim(1) != outs[0].Dim(1) || cur.Dim(2) != outs[0].Dim(2))) {
+			panic(fmt.Sprintf("nn: inception branch %d output shape %v mismatch", bi, cur.Shape()))
 		}
-		cOff += cur.Dim(0)
+		outs[bi] = cur
+		totalC += cur.Dim(0)
+	}
+	out := newTensor(p, totalC, outs[0].Dim(1), outs[0].Dim(2))
+	off := 0
+	for bi := range in.Branches {
+		off += copy(out.Data()[off:], outs[bi].Data())
 	}
 	return out
 }

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lighttrader/internal/tensor"
+)
+
+// Float-tolerance policy (see DESIGN.md): optimized kernels that preserve
+// the naive accumulation order must match bit-for-bit; kernels that
+// reorder float32 accumulation (transposed-GEMM dots, bias-after-GEMM
+// convolution) must satisfy |a-b| ≤ atol + rtol·max(|a|,|b|).
+const (
+	fwdAtol = 1e-4
+	fwdRtol = 1e-4
+	// BF16 inputs quantise to ~8 mantissa bits, so reordered sums can
+	// diverge by a few BF16 ulps.
+	bf16Atol = 2e-2
+	bf16Rtol = 2e-2
+)
+
+func wantClose(t *testing.T, tag string, got, want *tensor.Tensor, atol, rtol float32) {
+	t.Helper()
+	gs, ws := got.Shape(), want.Shape()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: shape %v vs %v", tag, gs, ws)
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("%s: shape %v vs %v", tag, gs, ws)
+		}
+	}
+	for i, w := range want.Data() {
+		g := got.Data()[i]
+		d := math.Abs(float64(g - w))
+		lim := float64(atol) + float64(rtol)*math.Max(math.Abs(float64(g)), math.Abs(float64(w)))
+		if d > lim || math.IsNaN(float64(g)) != math.IsNaN(float64(w)) {
+			t.Fatalf("%s: elem %d = %v, want %v (diff %v > %v)", tag, i, g, w, d, lim)
+		}
+	}
+}
+
+// checkBothPaths runs the layer through Forward (heap) and ForwardCtx
+// (pool) and compares each against a reference output.
+func checkBothPaths(t *testing.T, tag string, l Layer, x, want *tensor.Tensor, atol, rtol float32) {
+	t.Helper()
+	wantClose(t, tag+"/heap", l.Forward(x), want, atol, rtol)
+	var p tensor.Pool
+	wantClose(t, tag+"/pool", l.ForwardCtx(&p, x), want, atol, rtol)
+	// Second run on a recycled pool must reproduce the same output.
+	p.Reset()
+	wantClose(t, tag+"/pool-reuse", l.ForwardCtx(&p, x), want, atol, rtol)
+}
+
+// TestConv2DMatchesReference property-tests the im2col+GEMM convolution
+// against the naive loop over randomized shapes, strides and padding.
+func TestConv2DMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	acts := []Activation{ActNone, ActReLU, ActLeakyReLU, ActTanh, ActSigmoid}
+	for i := 0; i < 250; i++ {
+		inC, outC := 1+rng.Intn(6), 1+rng.Intn(8)
+		kh, kw := 1+rng.Intn(5), 1+rng.Intn(5)
+		sh, sw := 1+rng.Intn(3), 1+rng.Intn(3)
+		ph, pw := rng.Intn(3), rng.Intn(3)
+		h := kh + rng.Intn(20)
+		w := kw + rng.Intn(20)
+		c := NewConv2D(inC, outC, kh, kw, sh, sw, ph, pw, acts[rng.Intn(len(acts))])
+		c.Init(rng)
+		for j := range c.b {
+			c.b[j] = float32(rng.NormFloat64())
+		}
+		x := tensor.New(inC, h, w)
+		x.FillRandn(rng, 1)
+		if _, err := c.OutShape(x.Shape()); err != nil {
+			continue // padding/stride combination collapses; skip
+		}
+		checkBothPaths(t, c.Name(), c, x, referenceConv(c, x), fwdAtol, fwdRtol)
+	}
+}
+
+// TestConv2DBF16MatchesReference repeats the sweep with BF16-rounded
+// weights and inputs, the accelerator's storage precision.
+func TestConv2DBF16MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 80; i++ {
+		inC, outC := 1+rng.Intn(4), 1+rng.Intn(6)
+		kh, kw := 1+rng.Intn(4), 1+rng.Intn(4)
+		c := NewConv2D(inC, outC, kh, kw, 1+rng.Intn(2), 1+rng.Intn(2), rng.Intn(2), rng.Intn(2), ActLeakyReLU)
+		c.Init(rng)
+		c.w.RoundBF16()
+		tensor.RoundSliceBF16(c.b)
+		x := tensor.New(inC, kh+rng.Intn(12), kw+rng.Intn(12))
+		x.FillRandn(rng, 1)
+		x.RoundBF16()
+		if _, err := c.OutShape(x.Shape()); err != nil {
+			continue
+		}
+		want := referenceConv(c, x).RoundBF16()
+		got := c.Forward(x).RoundBF16()
+		wantClose(t, c.Name()+"/bf16", got, want, bf16Atol, bf16Rtol)
+	}
+}
+
+func TestMaxPool2DMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		kh, kw := 1+rng.Intn(4), 1+rng.Intn(4)
+		sh, sw := rng.Intn(4), rng.Intn(4) // 0 → kernel-sized stride
+		p := NewMaxPool2D(kh, kw, sh, sw)
+		x := tensor.New(1+rng.Intn(4), kh+rng.Intn(16), kw+rng.Intn(16))
+		x.FillRandn(rng, 1)
+		// Max selection is order-independent: exact equality required.
+		checkBothPaths(t, p.Name(), p, x, referenceMaxPool(p, x), 0, 0)
+	}
+}
+
+func TestDenseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	acts := []Activation{ActNone, ActReLU, ActLeakyReLU, ActTanh, ActSigmoid}
+	for i := 0; i < 150; i++ {
+		in, out := 1+rng.Intn(200), 1+rng.Intn(100)
+		d := NewDense(in, out, acts[rng.Intn(len(acts))])
+		d.Init(rng)
+		for j := range d.b {
+			d.b[j] = float32(rng.NormFloat64())
+		}
+		x := tensor.New(in)
+		x.FillRandn(rng, 1)
+		checkBothPaths(t, d.Name(), d, x, referenceDense(d, x), fwdAtol, fwdRtol)
+	}
+}
+
+func TestLSTMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 100; i++ {
+		in, hidden := 1+rng.Intn(48), 1+rng.Intn(48)
+		l := NewLSTM(in, hidden, rng.Intn(2) == 0)
+		l.Init(rng)
+		x := tensor.New(1+rng.Intn(24), in)
+		x.FillRandn(rng, 1)
+		checkBothPaths(t, l.Name(), l, x, referenceLSTM(l, x), fwdAtol, fwdRtol)
+	}
+}
+
+func TestLSTMBF16MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for i := 0; i < 40; i++ {
+		in, hidden := 1+rng.Intn(32), 1+rng.Intn(32)
+		l := NewLSTM(in, hidden, true)
+		l.Init(rng)
+		l.wx.RoundBF16()
+		l.wh.RoundBF16()
+		tensor.RoundSliceBF16(l.b)
+		x := tensor.New(1+rng.Intn(16), in)
+		x.FillRandn(rng, 1)
+		x.RoundBF16()
+		want := referenceLSTM(l, x).RoundBF16()
+		got := l.Forward(x).RoundBF16()
+		wantClose(t, l.Name()+"/bf16", got, want, bf16Atol, bf16Rtol)
+	}
+}
+
+func TestTransformerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for i := 0; i < 60; i++ {
+		heads := 1 + rng.Intn(4)
+		dim := heads * (1 + rng.Intn(8))
+		ff := 1 + rng.Intn(32)
+		b := NewTransformerBlock(dim, heads, ff)
+		b.Init(rng)
+		for _, bias := range [][]float32{b.bq, b.bk, b.bv, b.bo} {
+			for j := range bias {
+				bias[j] = float32(rng.NormFloat64() * 0.1)
+			}
+		}
+		x := tensor.New(1+rng.Intn(16), dim)
+		x.FillRandn(rng, 1)
+		checkBothPaths(t, b.Name(), b, x, referenceTransformer(b, x), fwdAtol, fwdRtol)
+	}
+}
+
+func TestSeqFromCHWMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for i := 0; i < 50; i++ {
+		x := tensor.New(1+rng.Intn(6), 1+rng.Intn(12), 1+rng.Intn(12))
+		x.FillRandn(rng, 1)
+		checkBothPaths(t, "seq-from-chw", SeqFromCHW{}, x, referenceSeqFromCHW(x), 0, 0)
+	}
+}
+
+func TestPositionalEncodingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 50; i++ {
+		x := tensor.New(1+rng.Intn(20), 1+rng.Intn(20))
+		x.FillRandn(rng, 1)
+		// Same per-element arithmetic, loops reordered: exact match.
+		checkBothPaths(t, "posenc", PositionalEncoding{}, x, referencePosEnc(x), 0, 0)
+	}
+}
+
+// TestInferMatchesForward checks Model.Infer (pooled scratch) against
+// Model.Forward (heap) on every benchmark architecture, with and without
+// BF16 rounding, and that a recycled pool reproduces identical outputs.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, bf16 := range []bool{false, true} {
+		for _, m := range BenchmarkModels() {
+			m.BF16 = bf16
+			m.Init(7)
+			if _, err := m.Validate(); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			x := tensor.New(m.InputShape...)
+			x.FillRandn(rng, 1)
+			want, err := m.Forward(x)
+			if err != nil {
+				t.Fatalf("%s: forward: %v", m.Name(), err)
+			}
+			var p tensor.Pool
+			for round := 0; round < 2; round++ {
+				got, err := m.Infer(&p, x)
+				if err != nil {
+					t.Fatalf("%s: infer: %v", m.Name(), err)
+				}
+				// Forward and Infer run the same ForwardCtx code (heap vs
+				// pool storage), so outputs must be bit-identical.
+				wantClose(t, m.Name(), got, want, 0, 0)
+			}
+			// Shape mismatch must surface as an error, not a panic.
+			if _, err := m.Infer(&p, tensor.New(1, 2, 3)); err == nil {
+				t.Fatalf("%s: Infer accepted wrong input shape", m.Name())
+			}
+		}
+	}
+}
+
+// TestPredictStillClassifies exercises the pooled Predict path.
+func TestPredictStillClassifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, m := range BenchmarkModels() {
+		m.Init(7)
+		x := tensor.New(m.InputShape...)
+		x.FillRandn(rng, 1)
+		dir, conf, err := m.Predict(x)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if dir > Up || conf <= 0 || conf > 1 {
+			t.Fatalf("%s: dir %v conf %v", m.Name(), dir, conf)
+		}
+		// Repeat calls must be deterministic.
+		dir2, conf2, _ := m.Predict(x)
+		if dir2 != dir || conf2 != conf {
+			t.Fatalf("%s: predict not deterministic", m.Name())
+		}
+	}
+}

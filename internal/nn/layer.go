@@ -111,6 +111,10 @@ type Layer interface {
 	// Forward computes the layer's output. Implementations must not retain
 	// or mutate x.
 	Forward(x *tensor.Tensor) *tensor.Tensor
+	// ForwardCtx computes the layer's output drawing all scratch and output
+	// storage from p; results are valid only until p.Reset(). A nil pool
+	// falls back to heap allocation (Forward(x) ≡ ForwardCtx(nil, x)).
+	ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor
 	// FLOPs returns the floating-point operation count for one forward pass
 	// at the given input shape (multiply and add counted separately).
 	FLOPs(in []int) int64
@@ -118,6 +122,59 @@ type Layer interface {
 	Params() int64
 	// Init (re)initialises the layer's weights from rng.
 	Init(rng *rand.Rand)
+}
+
+// newTensor draws a zeroed tensor from p, or the heap when p is nil.
+func newTensor(p *tensor.Pool, shape ...int) *tensor.Tensor {
+	if p == nil {
+		return tensor.New(shape...)
+	}
+	return p.NewTensor(shape...)
+}
+
+// newSlice draws a zeroed scratch slice from p, or the heap when p is nil.
+func newSlice(p *tensor.Pool, n int) []float32 {
+	if p == nil {
+		return make([]float32, n)
+	}
+	return p.Get(n)
+}
+
+// viewTensor wraps data in a tensor header from p (or the heap when p is
+// nil) without copying.
+func viewTensor(p *tensor.Pool, data []float32, shape ...int) *tensor.Tensor {
+	if p == nil {
+		return tensor.FromSlice(data, shape...)
+	}
+	return p.ViewTensor(data, shape...)
+}
+
+// applyAct applies the activation to a whole slice with the kind switch
+// hoisted out of the element loop.
+func applyAct(a Activation, s []float32) {
+	switch a {
+	case ActNone:
+	case ActReLU:
+		for i, v := range s {
+			if v < 0 {
+				s[i] = 0
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range s {
+			if v < 0 {
+				s[i] = 0.01 * v
+			}
+		}
+	case ActTanh:
+		for i, v := range s {
+			s[i] = tanh32(v)
+		}
+	case ActSigmoid:
+		for i, v := range s {
+			s[i] = sigmoid32(v)
+		}
+	}
 }
 
 // shapeEq reports whether two shapes match.
@@ -171,19 +228,19 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
-	xf := x.Data()
-	out := tensor.New(d.Out)
-	of := out.Data()
-	wf := d.w.Data()
-	for o := 0; o < d.Out; o++ {
-		sum := d.b[o]
-		row := wf[o*d.In : (o+1)*d.In]
-		for i, v := range xf {
-			sum += row[i] * v
-		}
-		of[o] = d.Act.apply(sum)
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor { return d.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer: one x·Wᵀ GEMM with fused bias/activation.
+func (d *Dense) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Size() != d.In {
+		panic(fmt.Sprintf("nn: %s got input of size %d", d.Name(), x.Size()))
 	}
+	out := newTensor(p, d.Out)
+	xv := viewTensor(p, x.Data(), 1, d.In)
+	ov := viewTensor(p, out.Data(), 1, d.Out)
+	tensor.Gemm(1, xv, false, d.w, true, 0, ov)
+	tensor.AddBias(out, d.b)
+	applyAct(d.Act, out.Data())
 	return out
 }
 
@@ -232,6 +289,11 @@ func (Flatten) OutShape(in []int) ([]int, error) { return []int{prod(in)}, nil }
 // Forward implements Layer.
 func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Reshape(x.Size()) }
 
+// ForwardCtx implements Layer.
+func (Flatten) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	return viewTensor(p, x.Data(), x.Size())
+}
+
 // FLOPs implements Layer.
 func (Flatten) FLOPs([]int) int64 { return 0 }
 
@@ -258,14 +320,18 @@ func (SeqFromCHW) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (SeqFromCHW) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (s SeqFromCHW) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer: the [C,H,W]→[H,C·W] transpose as H·C
+// contiguous row copies instead of element-wise stores.
+func (SeqFromCHW) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(h, c*w)
+	out := newTensor(p, h, c*w)
+	xf, of := x.Data(), out.Data()
 	for t := 0; t < h; t++ {
+		orow := of[t*c*w : (t+1)*c*w]
 		for ci := 0; ci < c; ci++ {
-			for wi := 0; wi < w; wi++ {
-				out.Set2(t, ci*w+wi, x.At3(ci, t, wi))
-			}
+			copy(orow[ci*w:(ci+1)*w], xf[(ci*h+t)*w:(ci*h+t+1)*w])
 		}
 	}
 	return out
@@ -297,6 +363,13 @@ func (SoftmaxLayer) OutShape(in []int) ([]int, error) {
 
 // Forward implements Layer.
 func (SoftmaxLayer) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.Softmax(x) }
+
+// ForwardCtx implements Layer.
+func (SoftmaxLayer) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	out := newTensor(p, x.Shape()...)
+	tensor.SoftmaxInto(out, x)
+	return out
+}
 
 // FLOPs implements Layer.
 func (SoftmaxLayer) FLOPs(in []int) int64 { return int64(prod(in)) * 10 }

@@ -23,6 +23,12 @@ type LSTM struct {
 	gwx *tensor.Tensor
 	gwh *tensor.Tensor
 	gb  []float32
+
+	// wcomb packs wx and wh row-interleaved as [4H, D+H] so each time step
+	// is a single [x_t,h]·wcombᵀ GEMM. The buffer is cached; the contents
+	// are repacked on every forward (callers may mutate wx/wh freely, e.g.
+	// gradient checks or SGD updates), a cost amortised over T time steps.
+	wcomb *tensor.Tensor
 }
 
 // NewLSTM constructs an LSTM layer.
@@ -50,40 +56,52 @@ func (l *LSTM) OutShape(in []int) ([]int, error) {
 }
 
 // Forward implements Layer.
-func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if _, err := l.OutShape(x.Shape()); err != nil {
-		panic(err)
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor { return l.ForwardCtx(nil, x) }
+
+// packWeights (re)builds the combined [4H, D+H] gate-weight matrix.
+func (l *LSTM) packWeights() {
+	D, H := l.In, l.Hidden
+	if l.wcomb == nil {
+		l.wcomb = tensor.New(4*H, D+H)
 	}
-	T := x.Dim(0)
-	H := l.Hidden
-	h := make([]float32, H)
-	c := make([]float32, H)
-	gates := make([]float32, 4*H)
+	wf, wxf, whf := l.wcomb.Data(), l.wx.Data(), l.wh.Data()
+	for g := 0; g < 4*H; g++ {
+		row := wf[g*(D+H) : (g+1)*(D+H)]
+		copy(row[:D], wxf[g*D:(g+1)*D])
+		copy(row[D:], whf[g*H:(g+1)*H])
+	}
+}
+
+// ForwardCtx implements Layer. Each time step concatenates [x_t, h_{t-1}]
+// and computes all 4H gate pre-activations as one vector×matrixᵀ GEMM over
+// the packed weights, then applies the fused gate nonlinearities.
+func (l *LSTM) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s expects [T,%d], got %v", l.Name(), l.In, x.Shape()))
+	}
+	l.packWeights()
+	T, D, H := x.Dim(0), l.In, l.Hidden
+	xh := newSlice(p, D+H)
+	c := newSlice(p, H)
+	gates := newSlice(p, 4*H)
+	xhv := viewTensor(p, xh, 1, D+H)
+	gv := viewTensor(p, gates, 1, 4*H)
+	h := xh[D:] // the hidden state lives inside the concat buffer
 	var seq *tensor.Tensor
 	if !l.ReturnLast {
-		seq = tensor.New(T, H)
+		seq = newTensor(p, T, H)
 	}
-	wxf, whf := l.wx.Data(), l.wh.Data()
+	xf := x.Data()
+	gi, gf_, gg, go_ := gates[:H], gates[H:2*H], gates[2*H:3*H], gates[3*H:4*H]
 	for t := 0; t < T; t++ {
-		xt := x.Data()[t*l.In : (t+1)*l.In]
+		copy(xh[:D], xf[t*D:(t+1)*D])
 		copy(gates, l.b)
-		for g := 0; g < 4*H; g++ {
-			row := wxf[g*l.In : (g+1)*l.In]
-			sum := gates[g]
-			for i, v := range xt {
-				sum += row[i] * v
-			}
-			hrow := whf[g*H : (g+1)*H]
-			for i, v := range h {
-				sum += hrow[i] * v
-			}
-			gates[g] = sum
-		}
+		tensor.Gemm(1, xhv, false, l.wcomb, true, 1, gv)
 		for j := 0; j < H; j++ {
-			i := sigmoid32(gates[j])
-			f := sigmoid32(gates[H+j])
-			g := tanh32(gates[2*H+j])
-			o := sigmoid32(gates[3*H+j])
+			i := sigmoid32(gi[j])
+			f := sigmoid32(gf_[j])
+			g := tanh32(gg[j])
+			o := sigmoid32(go_[j])
 			c[j] = f*c[j] + i*g
 			h[j] = o * tanh32(c[j])
 		}
@@ -92,7 +110,7 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	if l.ReturnLast {
-		out := tensor.New(H)
+		out := newTensor(p, H)
 		copy(out.Data(), h)
 		return out
 	}

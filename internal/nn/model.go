@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"lighttrader/internal/tensor"
 )
@@ -92,9 +93,37 @@ func (m *Model) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return cur, nil
 }
 
-// Predict runs Forward and interprets the output as class probabilities.
+// Infer runs one inference drawing every intermediate activation from p
+// (which is Reset first), so a warmed pool makes the whole pass free of
+// heap allocation. The returned tensor is pool-owned: it is valid only
+// until the next Reset/Infer on p. Layer shape errors surface as panics
+// from the layers themselves; call Validate once after model construction.
+func (m *Model) Infer(p *tensor.Pool, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !shapeEq(x.Shape(), m.InputShape) {
+		return nil, fmt.Errorf("nn: %s expects input %v, got %v", m.ModelName, m.InputShape, x.Shape())
+	}
+	p.Reset()
+	cur := x
+	for _, l := range m.Layers {
+		cur = l.ForwardCtx(p, cur)
+		if m.BF16 {
+			cur.RoundBF16()
+		}
+	}
+	return cur, nil
+}
+
+// inferPools recycles inference scratch arenas across Predict calls. Safe
+// because Predict extracts only scalars before returning its pool.
+var inferPools = sync.Pool{New: func() any { return new(tensor.Pool) }}
+
+// Predict runs one inference and interprets the output as class
+// probabilities. It uses pooled scratch storage, so steady-state calls do
+// not allocate.
 func (m *Model) Predict(x *tensor.Tensor) (Direction, float32, error) {
-	out, err := m.Forward(x)
+	p := inferPools.Get().(*tensor.Pool)
+	defer inferPools.Put(p)
+	out, err := m.Infer(p, x)
 	if err != nil {
 		return Stationary, 0, err
 	}

@@ -107,20 +107,20 @@ func (d *Dense) Backward(input, output, gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradIn
 }
 
-// Update implements Backprop for Dense.
+// Update implements Backprop for Dense. SGD is w += (-lr)·g, one fused
+// AXPY per parameter block (bit-identical to the scalar loop).
 func (d *Dense) Update(lr float32) {
 	if d.gw == nil {
 		return
 	}
-	wf, gwf := d.w.Data(), d.gw.Data()
-	for i := range wf {
-		wf[i] -= lr * gwf[i]
-		gwf[i] = 0
-	}
-	for i := range d.b {
-		d.b[i] -= lr * d.gb[i]
-		d.gb[i] = 0
-	}
+	sgdStep(lr, d.w.Data(), d.gw.Data())
+	sgdStep(lr, d.b, d.gb)
+}
+
+// sgdStep applies w += (-lr)·g with the unrolled AXPY kernel and clears g.
+func sgdStep(lr float32, w, g []float32) {
+	tensor.Axpy(-lr, g, w)
+	clear(g)
 }
 
 // Backward implements Backprop for Conv2D.
@@ -171,15 +171,8 @@ func (c *Conv2D) Update(lr float32) {
 	if c.gw == nil {
 		return
 	}
-	wf, gwf := c.w.Data(), c.gw.Data()
-	for i := range wf {
-		wf[i] -= lr * gwf[i]
-		gwf[i] = 0
-	}
-	for i := range c.b {
-		c.b[i] -= lr * c.gb[i]
-		c.gb[i] = 0
-	}
+	sgdStep(lr, c.w.Data(), c.gw.Data())
+	sgdStep(lr, c.b, c.gb)
 }
 
 // Backward implements Backprop for MaxPool2D: the gradient routes to each

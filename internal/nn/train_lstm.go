@@ -141,15 +141,9 @@ func (l *LSTM) Update(lr float32) {
 	if l.gwx == nil {
 		return
 	}
-	apply := func(w, g []float32) {
-		for i := range w {
-			w[i] -= lr * g[i]
-			g[i] = 0
-		}
-	}
-	apply(l.wx.Data(), l.gwx.Data())
-	apply(l.wh.Data(), l.gwh.Data())
-	apply(l.b, l.gb)
+	sgdStep(lr, l.wx.Data(), l.gwx.Data())
+	sgdStep(lr, l.wh.Data(), l.gwh.Data())
+	sgdStep(lr, l.b, l.gb)
 }
 
 // Backward implements Backprop for SeqFromCHW: a pure layout inverse.

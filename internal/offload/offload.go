@@ -77,6 +77,10 @@ type Engine struct {
 	pending []InputTensor
 	maxPend int
 	dropped int
+	// free is the stale-tensor freelist: retired feature maps (consumed by
+	// inference or evicted as stale) are reused by buildTensor, so
+	// steady-state feature-map generation allocates nothing.
+	free []*tensor.Tensor
 }
 
 // NewEngine builds an offload engine; maxPending bounds the ready-tensor
@@ -111,15 +115,24 @@ func (e *Engine) Push(snap lob.Snapshot) {
 		return
 	}
 	if len(e.pending) >= e.maxPend {
+		e.Recycle(e.pending[0].Tensor)
 		e.pending = e.pending[1:]
 		e.dropped++
 	}
 	e.pending = append(e.pending, InputTensor{TimeNanos: snap.TimeNanos, Tensor: e.buildTensor()})
 }
 
-// buildTensor copies the ring, oldest row first, into a model input.
+// buildTensor copies the ring, oldest row first, into a model input,
+// reusing a recycled tensor when one is available.
 func (e *Engine) buildTensor() *tensor.Tensor {
-	t := tensor.New(1, nn.Window, nn.Features)
+	var t *tensor.Tensor
+	if n := len(e.free); n > 0 {
+		t = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		t = tensor.New(1, nn.Window, nn.Features)
+	}
 	data := t.Data()
 	for i := 0; i < nn.Window; i++ {
 		src := e.ring[(e.head+i)%nn.Window]
@@ -151,11 +164,23 @@ func (e *Engine) PopBatch(n int) []InputTensor {
 func (e *Engine) EvictOlderThan(cutoff int64) int {
 	i := 0
 	for i < len(e.pending) && e.pending[i].TimeNanos < cutoff {
+		e.Recycle(e.pending[i].Tensor)
 		i++
 	}
 	e.pending = e.pending[i:]
 	e.dropped += i
 	return i
+}
+
+// Recycle returns a feature-map tensor to the engine's freelist once the
+// consumer (inference) is done with it; buildTensor reuses the storage.
+// Tensors of the wrong shape and excess tensors beyond the FIFO bound are
+// simply dropped for the garbage collector.
+func (e *Engine) Recycle(t *tensor.Tensor) {
+	if t == nil || t.Size() != nn.Window*nn.Features || len(e.free) >= e.maxPend {
+		return
+	}
+	e.free = append(e.free, t)
 }
 
 // Warm reports whether the window has filled and tensors can be produced.

@@ -1,0 +1,341 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// High-throughput GEMM backend. The serial kernel is cache-blocked over k
+// (panels of B stay resident in L2 across the rows of A) with unrolled
+// AXPY/dot inner loops; large multiplies additionally fan out across a
+// persistent goroutine worker pool, partitioned by output rows so results
+// are bit-identical to the serial kernel for any worker count. Steady-state
+// calls allocate nothing: worker bookkeeping is recycled through a
+// sync.Pool and task channels carry plain structs.
+//
+// Backend knobs (SetWorkers, SetBlockSize, SetParallelThreshold) apply
+// process-wide; cmd/ltbench exposes them as -workers and -blocksize.
+
+var (
+	// gemmWorkerCount is the configured worker count; 0 means GOMAXPROCS.
+	gemmWorkerCount atomic.Int32
+	// gemmBlockK is the k-panel size of the cache-blocked serial kernel.
+	gemmBlockK atomic.Int32
+	// gemmParallelMin is the minimum multiply-accumulate count (m·n·k)
+	// before a GEMM fans out to the worker pool. The default keeps every
+	// per-query inference multiply on the serial (zero-overhead) path and
+	// reserves the pool for training sweeps and batched workloads.
+	gemmParallelMin atomic.Int64
+)
+
+func init() {
+	gemmBlockK.Store(128)
+	gemmParallelMin.Store(4 << 20)
+}
+
+// SetWorkers sets the GEMM worker-pool width. n <= 0 selects GOMAXPROCS.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	gemmWorkerCount.Store(int32(n))
+}
+
+// Workers returns the effective GEMM worker count.
+func Workers() int {
+	if w := gemmWorkerCount.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetBlockSize sets the k-panel size of the cache-blocked kernel. Values
+// below 8 are clamped to 8.
+func SetBlockSize(n int) {
+	if n < 8 {
+		n = 8
+	}
+	gemmBlockK.Store(int32(n))
+}
+
+// BlockSize returns the current k-panel size.
+func BlockSize() int { return int(gemmBlockK.Load()) }
+
+// SetParallelThreshold sets the minimum m·n·k product before a GEMM uses
+// the worker pool; smaller multiplies always run on the serial kernel.
+func SetParallelThreshold(ops int64) {
+	if ops < 0 {
+		ops = 0
+	}
+	gemmParallelMin.Store(ops)
+}
+
+// axpy computes y += a·x over equal-length slices, 8-way unrolled.
+func axpy(a float32, x, y []float32) {
+	i := 0
+	for ; i+8 <= len(y); i += 8 {
+		xx := x[i : i+8 : i+8]
+		yy := y[i : i+8 : i+8]
+		yy[0] += a * xx[0]
+		yy[1] += a * xx[1]
+		yy[2] += a * xx[2]
+		yy[3] += a * xx[3]
+		yy[4] += a * xx[4]
+		yy[5] += a * xx[5]
+		yy[6] += a * xx[6]
+		yy[7] += a * xx[7]
+	}
+	for ; i < len(y); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Axpy computes y += a·x in place. The slices must have equal length.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if a == 0 {
+		return
+	}
+	axpy(a, x, y)
+}
+
+// dot computes x·y with four independent accumulator chains.
+func dot(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		s0 += xx[0] * yy[0]
+		s1 += xx[1] * yy[1]
+		s2 += xx[2] * yy[2]
+		s3 += xx[3] * yy[3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Dot returns the inner product of two equal-length slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	return dot(x, y)
+}
+
+// dot4 computes the inner product of x against four rows at once, sharing
+// the loads of x across four accumulator chains.
+func dot4(x, r0, r1, r2, r3 []float32) (s0, s1, s2, s3 float32) {
+	r0 = r0[:len(x)]
+	r1 = r1[:len(x)]
+	r2 = r2[:len(x)]
+	r3 = r3[:len(x)]
+	for i, v := range x {
+		s0 += v * r0[i]
+		s1 += v * r1[i]
+		s2 += v * r2[i]
+		s3 += v * r3[i]
+	}
+	return
+}
+
+// gemmArgs is a fully resolved C += alpha·op(A)·op(B) over raw row-major
+// slices (beta is applied by the dispatcher before the kernel runs).
+type gemmArgs struct {
+	m, n, k int
+	alpha   float32
+	a       []float32
+	lda     int
+	ta      bool
+	b       []float32
+	ldb     int
+	tb      bool
+	c       []float32
+	ldc     int
+	kc      int
+}
+
+// exec runs the serial kernel for output rows [i0, i1). Row-partitioned
+// calls compose to exactly the full-range result: each C row accumulates
+// its k terms in the same order for any partitioning, so parallel runs are
+// bit-identical to serial ones.
+func (g *gemmArgs) exec(i0, i1 int) {
+	switch {
+	case !g.ta && !g.tb:
+		for kk := 0; kk < g.k; kk += g.kc {
+			kend := min(kk+g.kc, g.k)
+			for i := i0; i < i1; i++ {
+				arow := g.a[i*g.lda+kk : i*g.lda+kend]
+				crow := g.c[i*g.ldc : i*g.ldc+g.n]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					bp := (kk + p) * g.ldb
+					axpy(g.alpha*av, g.b[bp:bp+g.n], crow)
+				}
+			}
+		}
+	case !g.ta && g.tb:
+		for i := i0; i < i1; i++ {
+			arow := g.a[i*g.lda : i*g.lda+g.k]
+			crow := g.c[i*g.ldc : i*g.ldc+g.n]
+			j := 0
+			for ; j+4 <= g.n; j += 4 {
+				s0, s1, s2, s3 := dot4(arow,
+					g.b[j*g.ldb:j*g.ldb+g.k],
+					g.b[(j+1)*g.ldb:(j+1)*g.ldb+g.k],
+					g.b[(j+2)*g.ldb:(j+2)*g.ldb+g.k],
+					g.b[(j+3)*g.ldb:(j+3)*g.ldb+g.k])
+				crow[j] += g.alpha * s0
+				crow[j+1] += g.alpha * s1
+				crow[j+2] += g.alpha * s2
+				crow[j+3] += g.alpha * s3
+			}
+			for ; j < g.n; j++ {
+				crow[j] += g.alpha * dot(arow, g.b[j*g.ldb:j*g.ldb+g.k])
+			}
+		}
+	case g.ta && !g.tb:
+		for p := 0; p < g.k; p++ {
+			acol := g.a[p*g.lda : p*g.lda+g.m]
+			brow := g.b[p*g.ldb : p*g.ldb+g.n]
+			for i := i0; i < i1; i++ {
+				av := acol[i]
+				if av == 0 {
+					continue
+				}
+				axpy(g.alpha*av, brow, g.c[i*g.ldc:i*g.ldc+g.n])
+			}
+		}
+	default: // ta && tb
+		for i := i0; i < i1; i++ {
+			crow := g.c[i*g.ldc : i*g.ldc+g.n]
+			for j := 0; j < g.n; j++ {
+				var s float32
+				for p := 0; p < g.k; p++ {
+					s += g.a[p*g.lda+i] * g.b[j*g.ldb+p]
+				}
+				crow[j] += g.alpha * s
+			}
+		}
+	}
+}
+
+// gemmRun is the shared state of one parallel GEMM; recycled via runPool
+// so steady-state parallel calls allocate nothing.
+type gemmRun struct {
+	gemmArgs
+	wg sync.WaitGroup
+}
+
+// gemmChunk is one worker task: a row range of a run.
+type gemmChunk struct {
+	r      *gemmRun
+	i0, i1 int
+}
+
+var (
+	runPool   = sync.Pool{New: func() any { return new(gemmRun) }}
+	gemmOnce  sync.Once
+	gemmTasks chan gemmChunk
+)
+
+// startGemmWorkers lazily spins up the persistent worker goroutines. The
+// pool width is NumCPU; a Workers() setting above that still completes
+// (excess chunks queue) but cannot add physical parallelism.
+func startGemmWorkers() {
+	gemmTasks = make(chan gemmChunk, 256)
+	n := max(runtime.NumCPU(), 1)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range gemmTasks {
+				t.r.exec(t.i0, t.i1)
+				t.r.wg.Done()
+			}
+		}()
+	}
+}
+
+// gemmDispatch applies beta and runs the kernel, serially or across the
+// worker pool.
+func gemmDispatch(g gemmArgs, beta float32) {
+	switch beta {
+	case 1:
+	case 0:
+		clear(g.c[:g.m*g.ldc])
+	default:
+		cs := g.c[:g.m*g.ldc]
+		for i := range cs {
+			cs[i] *= beta
+		}
+	}
+	g.kc = BlockSize()
+	w := Workers()
+	if w > g.m {
+		w = g.m
+	}
+	if w <= 1 || int64(g.m)*int64(g.n)*int64(g.k) < gemmParallelMin.Load() {
+		g.exec(0, g.m)
+		return
+	}
+	gemmOnce.Do(startGemmWorkers)
+	r := runPool.Get().(*gemmRun)
+	r.gemmArgs = g
+	chunk := (g.m + w - 1) / w
+	sent := 0
+	for i0 := chunk; i0 < g.m; i0 += chunk {
+		sent++
+	}
+	r.wg.Add(sent)
+	for i0 := chunk; i0 < g.m; i0 += chunk {
+		gemmTasks <- gemmChunk{r: r, i0: i0, i1: min(i0+chunk, g.m)}
+	}
+	r.exec(0, min(chunk, g.m))
+	r.wg.Wait()
+	r.gemmArgs = gemmArgs{} // drop slice references before pooling
+	runPool.Put(r)
+}
+
+// Gemm computes c = alpha·op(a)·op(b) + beta·c for rank-2 tensors, where
+// op is the identity or the transpose. Shapes: op(a) is [m,k], op(b) is
+// [k,n], c is [m,n]. For the no-transpose case the result is bit-identical
+// to the naive reference MatMul (same per-element accumulation order);
+// transposed operands use multi-accumulator dot kernels whose float32
+// rounding may differ from a sequential sum in the last bits.
+func Gemm(alpha float32, a *Tensor, transA bool, b *Tensor, transB bool, beta float32, c *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: gemm wants rank-2 operands, got %v × %v → %v", a.shape, b.shape, c.shape))
+	}
+	m, ka := a.shape[0], a.shape[1]
+	if transA {
+		m, ka = ka, m
+	}
+	kb, n := b.shape[0], b.shape[1]
+	if transB {
+		kb, n = n, kb
+	}
+	if ka != kb || c.shape[0] != m || c.shape[1] != n {
+		panic(fmt.Sprintf("tensor: gemm shape mismatch op(%v) × op(%v) → %v", a.shape, b.shape, c.shape))
+	}
+	g := gemmArgs{
+		m: m, n: n, k: ka, alpha: alpha,
+		a: a.data, lda: a.shape[1], ta: transA,
+		b: b.data, ldb: b.shape[1], tb: transB,
+		c: c.data, ldc: n,
+	}
+	gemmDispatch(g, beta)
+}
+
+// MatMulInto computes dst = a×b for rank-2 tensors [m,k]×[k,n] → [m,n],
+// reusing dst's storage (dst must already have shape [m,n] and must not
+// alias a or b).
+func MatMulInto(dst, a, b *Tensor) {
+	Gemm(1, a, false, b, false, 0, dst)
+}

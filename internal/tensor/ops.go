@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxInto computes the softmax of src over its last dimension into
+// dst (rank 1 or 2; shapes must match). dst may alias src for a fully
+// in-place update.
+func SoftmaxInto(dst, src *Tensor) {
+	if !shapesEqual(dst.shape, src.shape) {
+		panic(fmt.Sprintf("tensor: softmax shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	rows, cols := 1, src.Size()
+	if src.Rank() == 2 {
+		rows, cols = src.shape[0], src.shape[1]
+	} else if src.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: softmax wants rank 1 or 2, got %v", src.shape))
+	}
+	for r := 0; r < rows; r++ {
+		in := src.data[r*cols : (r+1)*cols]
+		out := dst.data[r*cols : (r+1)*cols]
+		maxv := in[0]
+		for _, v := range in {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range in {
+			e := math.Exp(float64(v - maxv))
+			out[i] = float32(e)
+			sum += e
+		}
+		for i := range out {
+			out[i] = float32(float64(out[i]) / sum)
+		}
+	}
+}
+
+// AddBias adds bias across the last dimension in place: for a rank-2
+// tensor [R,C] every row gets bias (len C); a rank-1 tensor is one row.
+func AddBias(t *Tensor, bias []float32) {
+	cols := t.Size()
+	rows := 1
+	if t.Rank() == 2 {
+		rows, cols = t.shape[0], t.shape[1]
+	} else if t.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: addbias wants rank 1 or 2, got %v", t.shape))
+	}
+	if len(bias) != cols {
+		panic(fmt.Sprintf("tensor: addbias bias len %d vs %d columns", len(bias), cols))
+	}
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for i, b := range bias {
+			row[i] += b
+		}
+	}
+}
+
+// shapesEqual reports whether two shapes match.
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 )
 
@@ -12,28 +11,46 @@ type Tensor struct {
 	data  []float32
 }
 
-// New allocates a zero tensor with the given shape.
-func New(shape ...int) *Tensor {
+// checkedSize returns the element count of shape, or a negative value if
+// any dimension is non-positive. Panic formatting happens in the callers
+// on an already-escaping copy of the shape, so passing a stack-built
+// variadic slice here never forces it to the heap.
+func checkedSize(shape []int) int {
 	n := 1
+	bad := false
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %v", shape))
+			bad = true
 		}
 		n *= d
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+	if bad {
+		return -1
+	}
+	return n
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := checkedSize(shape)
+	sh := append([]int(nil), shape...)
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimension %v", sh))
+	}
+	return &Tensor{shape: sh, data: make([]float32, n)}
 }
 
 // FromSlice wraps data with the given shape; data is not copied.
 func FromSlice(data []float32, shape ...int) *Tensor {
-	n := 1
-	for _, d := range shape {
-		n *= d
+	n := checkedSize(shape)
+	sh := append([]int(nil), shape...)
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimension %v", sh))
 	}
 	if n != len(data) {
-		panic(fmt.Sprintf("tensor: shape %v needs %d elements, have %d", shape, n, len(data)))
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, have %d", sh, n, len(data)))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}
+	return &Tensor{shape: sh, data: data}
 }
 
 // Shape returns the tensor's dimensions. The slice must not be mutated.
@@ -100,27 +117,15 @@ func (t *Tensor) RoundBF16() *Tensor {
 	return t
 }
 
-// MatMul computes a×b for rank-2 tensors [m,k]×[k,n] → [m,n].
+// MatMul computes a×b for rank-2 tensors [m,k]×[k,n] → [m,n] on the
+// blocked GEMM backend (see gemm.go); results are bit-identical to the
+// naive triple loop.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.shape, b.shape))
 	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[1]
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
 	return out
 }
 
@@ -137,29 +142,8 @@ func AddInPlace(a, b *Tensor) {
 // Softmax computes the softmax over the last dimension of a rank-1 or
 // rank-2 tensor, returning a new tensor.
 func Softmax(t *Tensor) *Tensor {
-	out := t.Clone()
-	rows, cols := 1, t.Size()
-	if t.Rank() == 2 {
-		rows, cols = t.shape[0], t.shape[1]
-	}
-	for r := 0; r < rows; r++ {
-		row := out.data[r*cols : (r+1)*cols]
-		maxv := row[0]
-		for _, v := range row {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for i, v := range row {
-			e := math.Exp(float64(v - maxv))
-			row[i] = float32(e)
-			sum += e
-		}
-		for i := range row {
-			row[i] = float32(float64(row[i]) / sum)
-		}
-	}
+	out := New(t.shape...)
+	SoftmaxInto(out, t)
 	return out
 }
 
