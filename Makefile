@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,16 @@ bench-all:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/tensor/ ./internal/nn/
 
+# Short fuzz runs over the wire-facing decoders — the surfaces an exchange
+# (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
+# one matching target per invocation, hence one line per fuzzer.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodeSessionFrame$$ -fuzztime=10s ./internal/orderentry/
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodeFrame$$ -fuzztime=10s ./internal/orderentry/
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacket$$ -fuzztime=10s ./internal/sbe/
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodeMessage$$ -fuzztime=10s ./internal/sbe/
+
 # The full CI gate: formatting, static analysis, build, the test suite
-# under the race detector, and a single-iteration benchmark smoke run.
-ci: fmt-check vet build race bench-smoke
+# under the race detector, a single-iteration benchmark smoke run, and a
+# short fuzz pass over the wire decoders.
+ci: fmt-check vet build race bench-smoke fuzz-smoke

@@ -94,10 +94,21 @@ func (a *Arbiter) onPacket(pkt sbe.Packet) {
 			a.drainPending()
 			return
 		}
-		// Periodic snapshot while synced: deliver only if it is the next
-		// expected packet; otherwise treat as a duplicate refresh.
+		// Periodic snapshot while synced: deliver if it is the next expected
+		// packet; resync from it when it proves we missed data (its
+		// LastMsgSeqNum covers sequences we never delivered — the tail-loss
+		// case where too few packets follow the hole to overflow the reorder
+		// window and declare a gap). Older snapshots are duplicate refreshes.
 		if pkt.SeqNum == a.nextSeq {
 			a.nextSeq++
+			a.stats.Delivered++
+			a.deliver(pkt)
+			a.drainPending()
+			return
+		}
+		if snap.LastMsgSeqNum+1 > a.nextSeq {
+			a.nextSeq = snap.LastMsgSeqNum + 1
+			a.stats.Recoveries++
 			a.stats.Delivered++
 			a.deliver(pkt)
 			a.drainPending()

@@ -150,6 +150,37 @@ func TestPeriodicSnapshotWhileSynced(t *testing.T) {
 	}
 }
 
+func TestSnapshotResyncAfterTailLoss(t *testing.T) {
+	// Packets 2..4 are lost and nothing follows to overflow the reorder
+	// window, so no gap is ever declared; the next periodic snapshot proves
+	// the miss and must resynchronise the stream instead of being dropped
+	// as a duplicate refresh.
+	var c collector
+	a := New(c.deliver, 16)
+	_ = a.OnDatagram(mkPacket(1))
+	_ = a.OnDatagram(mkSnapshot(5, 4))
+	if a.Recovering() {
+		t.Fatal("snapshot resync left the arbiter recovering")
+	}
+	want := []uint32{1, 5}
+	if len(c.seqs) != 2 || c.seqs[0] != want[0] || c.seqs[1] != want[1] {
+		t.Fatalf("delivered %v, want %v", c.seqs, want)
+	}
+	if s := a.Stats(); s.Recoveries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The stream resumes past the snapshot; late replays of the lost range
+	// are duplicates.
+	_ = a.OnDatagram(mkPacket(5))
+	_ = a.OnDatagram(mkPacket(3))
+	if last := c.seqs[len(c.seqs)-1]; last != 5 {
+		t.Fatalf("delivered %v", c.seqs)
+	}
+	if s := a.Stats(); s.Duplicates != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
 func TestBadDatagram(t *testing.T) {
 	a := New(func(sbe.Packet) {}, 0)
 	if err := a.OnDatagram([]byte{1, 2, 3}); err == nil {

@@ -42,6 +42,13 @@ func FuzzDecodeSessionFrame(f *testing.F) {
 	f.Add(AppendNegotiate(nil, 1, 2))
 	f.Add(AppendEstablish(nil, 1, 2, 500))
 	f.Add(AppendSequence(nil, 1, 2))
+	f.Add(AppendTerminate(nil, 1, TerminateProtocolError))
+	// Corrupt-SOFH seeds: frameLen smaller than the headers it must carry.
+	// {6,0,0xFE,0xCA,...} is the remote-triggerable panic reproducer.
+	f.Add(append([]byte{6, 0, 0xFE, 0xCA}, make([]byte, 12)...))
+	f.Add(append([]byte{0, 0, 0xFE, 0xCA}, make([]byte, 12)...))
+	f.Add(append([]byte{5, 0, 0xFE, 0xCA}, make([]byte, 4)...))
+	f.Add([]byte{7, 0, 0xFE, 0xCA, 0xF4, 0x01, 3, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, n, err := DecodeSessionFrame(data)
 		if err != nil {

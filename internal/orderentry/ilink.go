@@ -35,11 +35,16 @@ const (
 	ilinkSideSell   = 2
 )
 
-// iLink decode errors.
+// iLink decode errors. ErrILinkShort strictly means "the buffer does not
+// yet hold the whole frame — read more and retry"; every self-inconsistent
+// frame (SOFH length too small for its own header, or too small for the
+// body its template requires) is ErrILinkMalformed so streaming callers
+// drop the session instead of waiting forever for bytes that cannot come.
 var (
-	ErrILinkShort    = errors.New("orderentry: short iLink frame")
-	ErrILinkEncoding = errors.New("orderentry: unknown iLink encoding")
-	ErrILinkTemplate = errors.New("orderentry: unknown iLink template")
+	ErrILinkShort     = errors.New("orderentry: short iLink frame")
+	ErrILinkEncoding  = errors.New("orderentry: unknown iLink encoding")
+	ErrILinkTemplate  = errors.New("orderentry: unknown iLink template")
+	ErrILinkMalformed = errors.New("orderentry: malformed iLink frame")
 )
 
 // ExecAck is the exchange's binary acknowledgement of an order action.
@@ -138,7 +143,7 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("%w: 0x%04x", ErrILinkEncoding, enc)
 	}
 	if frameLen < sofhLen+ilinkHeaderLen || frameLen > maxILinkBodyLen {
-		return Frame{}, 0, fmt.Errorf("orderentry: bad iLink frame length %d", frameLen)
+		return Frame{}, 0, fmt.Errorf("%w: frame length %d", ErrILinkMalformed, frameLen)
 	}
 	if len(buf) < frameLen {
 		return Frame{}, 0, ErrILinkShort
@@ -148,7 +153,7 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	switch template {
 	case templateNew:
 		if len(body) < newOrderBodyLen {
-			return Frame{}, 0, ErrILinkShort
+			return Frame{}, 0, fmt.Errorf("%w: new-order body %d", ErrILinkMalformed, len(body))
 		}
 		req := &exchange.Request{
 			Kind:       exchange.ReqNew,
@@ -168,7 +173,7 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		return Frame{Request: req}, frameLen, nil
 	case templateCancel:
 		if len(body) < cancelBodyLen {
-			return Frame{}, 0, ErrILinkShort
+			return Frame{}, 0, fmt.Errorf("%w: cancel body %d", ErrILinkMalformed, len(body))
 		}
 		return Frame{Request: &exchange.Request{
 			Kind:       exchange.ReqCancel,
@@ -177,7 +182,7 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		}}, frameLen, nil
 	case templateReplace:
 		if len(body) < replaceBodyLen {
-			return Frame{}, 0, ErrILinkShort
+			return Frame{}, 0, fmt.Errorf("%w: replace body %d", ErrILinkMalformed, len(body))
 		}
 		return Frame{Request: &exchange.Request{
 			Kind:       exchange.ReqReplace,
@@ -189,7 +194,7 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 		}}, frameLen, nil
 	case templateExecAck:
 		if len(body) < execAckBodyLen {
-			return Frame{}, 0, ErrILinkShort
+			return Frame{}, 0, fmt.Errorf("%w: exec-ack body %d", ErrILinkMalformed, len(body))
 		}
 		return Frame{Ack: &ExecAck{
 			ClOrdID:    binary.LittleEndian.Uint64(body[0:]),

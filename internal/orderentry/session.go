@@ -121,6 +121,12 @@ func DecodeSessionFrame(buf []byte) (SessionFrame, int, error) {
 	if enc := binary.LittleEndian.Uint16(buf[2:]); enc != encodingTypeSBE {
 		return SessionFrame{}, 0, fmt.Errorf("%w: 0x%04x", ErrILinkEncoding, enc)
 	}
+	// A frame too small to carry its own header cannot be sliced below: a
+	// corrupt SOFH length (e.g. frameLen=6 in a 16-byte datagram) must be a
+	// decode error, not a slice-bounds panic that kills the venue.
+	if frameLen < sofhLen+ilinkHeaderLen || frameLen > maxILinkBodyLen {
+		return SessionFrame{}, 0, fmt.Errorf("%w: frame length %d", ErrILinkMalformed, frameLen)
+	}
 	if len(buf) < frameLen {
 		return SessionFrame{}, 0, ErrILinkShort
 	}
@@ -130,33 +136,33 @@ func DecodeSessionFrame(buf []byte) (SessionFrame, int, error) {
 	switch template {
 	case templateNegotiate, templateNegotiateResponse:
 		if len(body) < negotiateBodyLen {
-			return SessionFrame{}, 0, ErrILinkShort
+			return SessionFrame{}, 0, fmt.Errorf("%w: negotiate body %d", ErrILinkMalformed, len(body))
 		}
 		f.UUID = binary.LittleEndian.Uint64(body[0:])
 		f.Timestamp = binary.LittleEndian.Uint64(body[8:])
 	case templateEstablish:
 		if len(body) < establishBodyLen {
-			return SessionFrame{}, 0, ErrILinkShort
+			return SessionFrame{}, 0, fmt.Errorf("%w: establish body %d", ErrILinkMalformed, len(body))
 		}
 		f.UUID = binary.LittleEndian.Uint64(body[0:])
 		f.Timestamp = binary.LittleEndian.Uint64(body[8:])
 		f.KeepAlive = binary.LittleEndian.Uint32(body[16:])
 	case templateEstablishAck:
 		if len(body) < establishAckLen {
-			return SessionFrame{}, 0, ErrILinkShort
+			return SessionFrame{}, 0, fmt.Errorf("%w: establish-ack body %d", ErrILinkMalformed, len(body))
 		}
 		f.UUID = binary.LittleEndian.Uint64(body[0:])
 		f.NextSeqNo = binary.LittleEndian.Uint64(body[8:])
 		f.KeepAlive = binary.LittleEndian.Uint32(body[16:])
 	case templateSequence:
 		if len(body) < sequenceBodyLen {
-			return SessionFrame{}, 0, ErrILinkShort
+			return SessionFrame{}, 0, fmt.Errorf("%w: sequence body %d", ErrILinkMalformed, len(body))
 		}
 		f.UUID = binary.LittleEndian.Uint64(body[0:])
 		f.NextSeqNo = binary.LittleEndian.Uint64(body[8:])
 	case templateTerminate:
 		if len(body) < terminateBodyLen {
-			return SessionFrame{}, 0, ErrILinkShort
+			return SessionFrame{}, 0, fmt.Errorf("%w: terminate body %d", ErrILinkMalformed, len(body))
 		}
 		f.UUID = binary.LittleEndian.Uint64(body[0:])
 		f.Reason = body[8]
@@ -214,6 +220,13 @@ func (v *VenueSession) State() SessionState { return v.state }
 
 // UUID returns the bound session id (0 before negotiation).
 func (v *VenueSession) UUID() uint64 { return v.uuid }
+
+// KeepAlive returns the negotiated keep-alive interval in milliseconds
+// (0 before establishment).
+func (v *VenueSession) KeepAlive() uint32 { return v.keepAlive }
+
+// NextSeqNo returns the next expected business sequence number.
+func (v *VenueSession) NextSeqNo() uint64 { return v.nextSeqNo }
 
 // OnFrame advances the state machine with a received session frame and
 // returns the encoded reply (nil if none).

@@ -167,6 +167,51 @@ func TestSessionFrameFallthrough(t *testing.T) {
 	}
 }
 
+func TestDecodeSessionFrameCorruptLength(t *testing.T) {
+	// The live-wire reproducer: a 16-byte datagram whose SOFH claims
+	// frameLen=6 — smaller than SOFH + iLink header. Decoding used to slice
+	// buf[8:6] and panic, killing venue.Server.serveConn.
+	repro := append([]byte{6, 0, 0xFE, 0xCA}, make([]byte, 12)...)
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"frameLen=6 reproducer", repro},
+		{"frameLen=0", append([]byte{0, 0, 0xFE, 0xCA}, make([]byte, 12)...)},
+		{"frameLen=7", append([]byte{7, 0, 0xFE, 0xCA}, make([]byte, 12)...)},
+		{"frameLen>max", append([]byte{0xFF, 0xFF, 0xFE, 0xCA}, make([]byte, 12)...)},
+		// Full frame present but the body is too short for its template:
+		// a Sequence header with frameLen=8 leaves a zero-length body.
+		{"sequence with empty body", append([]byte{8, 0, 0xFE, 0xCA, 0xFA, 0x01, 3, 0}, make([]byte, 8)...)},
+	}
+	for _, c := range cases {
+		_, n, err := DecodeSessionFrame(c.buf)
+		if err == nil {
+			t.Fatalf("%s: decoded without error", c.name)
+		}
+		if errors.Is(err, ErrILinkShort) {
+			t.Fatalf("%s: got ErrILinkShort; stream callers would stall waiting for more bytes", c.name)
+		}
+		if n != 0 {
+			t.Fatalf("%s: consumed %d on error", c.name, n)
+		}
+	}
+}
+
+func TestDecodeFrameCorruptLength(t *testing.T) {
+	// DecodeFrame already guarded the header slice; it must also report
+	// template bodies that cannot fit the claimed frame as malformed, not
+	// as a retryable short read.
+	buf := append([]byte{8, 0, 0xFE, 0xCA, 0x02, 0x02, 3, 0}, make([]byte, 8)...) // templateNew, empty body
+	_, n, err := DecodeFrame(buf)
+	if err == nil || errors.Is(err, ErrILinkShort) || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !errors.Is(err, ErrILinkMalformed) {
+		t.Fatalf("err = %v, want ErrILinkMalformed", err)
+	}
+}
+
 func TestSessionRoundTrips(t *testing.T) {
 	cases := []struct {
 		buf      []byte

@@ -1,0 +1,389 @@
+package trader_test
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/faultnet"
+	"lighttrader/internal/feed"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/orderentry"
+	"lighttrader/internal/trader"
+	"lighttrader/internal/trading"
+	"lighttrader/internal/venue"
+)
+
+const (
+	chaosSecID  = 7
+	chaosSymbol = "ESU6"
+)
+
+// newChaosPipeline builds a small but real tick-to-trade pipeline.
+func newChaosPipeline(t *testing.T) *core.Pipeline {
+	t.Helper()
+	gen, err := feed.NewGenerator(feed.DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := gen.Generate(300)
+	snaps := make([]lob.Snapshot, len(ticks))
+	for i := range ticks {
+		snaps[i] = ticks[i].Snapshot
+	}
+	tcfg := trading.DefaultConfig(chaosSecID)
+	tcfg.MinConfidence = 0.2 // untrained CNN hovers near uniform; let it trade
+	p, err := core.NewPipeline(chaosSymbol, chaosSecID, nn.NewSizedCNN("chaos", 4, 0),
+		offload.Calibrate(snaps), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// booksMatch compares the trader's book mirror against the venue's
+// authoritative snapshot, level by level. Only price and aggregate
+// quantity are compared: the market-data feed does not carry per-level
+// order counts, so the mirror never learns them.
+func booksMatch(venueSnap, local lob.Snapshot) bool {
+	for i := 0; i < lob.DepthLevels; i++ {
+		if venueSnap.Bids[i].Price != local.Bids[i].Price ||
+			venueSnap.Bids[i].Qty != local.Bids[i].Qty ||
+			venueSnap.Asks[i].Price != local.Asks[i].Price ||
+			venueSnap.Asks[i].Qty != local.Asks[i].Qty {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosLossyDualFeedBookConverges runs the full tick-to-trade loop with
+// seeded drop/duplicate/reorder on both redundant feeds, then quiesces and
+// requires the local book to match the venue book exactly. It also checks
+// the run leaks no goroutines.
+func TestChaosLossyDualFeedBookConverges(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	feedA, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedB, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultA := faultnet.WrapPacketConn(feedA, faultnet.PacketFaults{
+		Seed: 101, Drop: 0.35, Duplicate: 0.10, Reorder: 0.10})
+	faultB := faultnet.WrapPacketConn(feedB, faultnet.PacketFaults{
+		Seed: 202, Drop: 0.35, Duplicate: 0.10, Reorder: 0.10})
+
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:        "127.0.0.1:0",
+		FeedAddr:         feedA.LocalAddr().String(),
+		FeedAddrB:        feedB.LocalAddr().String(),
+		SecurityID:       chaosSecID,
+		Symbol:           chaosSymbol,
+		MidPrice:         450000,
+		Depth:            100,
+		NoiseInterval:    300 * time.Microsecond,
+		NoiseSeed:        11,
+		SnapshotInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srvDone := make(chan struct{})
+	go func() { defer close(srvDone); _ = srv.Run(ctx) }()
+
+	tr := trader.New(trader.Config{
+		OrderAddr:          srv.OrderAddr().String(),
+		UUID:               0xCAFE01,
+		KeepAliveMillis:    200,
+		BackoffSeed:        1,
+		CancelOnDisconnect: true,
+	}, newChaosPipeline(t), 8)
+
+	clientCtx, clientCancel := context.WithCancel(ctx)
+	clientDone := make(chan struct{})
+	feedDone := make(chan struct{}, 2)
+	go func() { defer close(clientDone); _ = tr.Client().Run(clientCtx) }()
+	go func() { _ = tr.ServeFeed(ctx, faultA); feedDone <- struct{}{} }()
+	go func() { _ = tr.ServeFeed(ctx, faultB); feedDone <- struct{}{} }()
+
+	readyCtx, readyCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := tr.Client().WaitReady(readyCtx); err != nil {
+		t.Fatalf("session never established: %v", err)
+	}
+	readyCancel()
+
+	// Let the noise trader churn the book through the lossy feeds.
+	time.Sleep(1500 * time.Millisecond)
+
+	// Quiesce: stop the venue churn, stop our own trading (the pipeline's
+	// aggressive orders echo back as book updates and would keep the book
+	// moving forever), and lift the faults so the next periodic snapshot
+	// resynchronises the mirror against a static book. With the client
+	// down, the degraded-mode gate suppresses any further generated
+	// orders instead of erroring.
+	srv.SetNoise(false)
+	clientCancel()
+	<-clientDone
+	faultA.SetEnabled(false)
+	faultB.SetEnabled(false)
+
+	var venueSnap, local lob.Snapshot
+	converged := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		vs, ok := srv.Snapshot()
+		if ok {
+			venueSnap, local = vs, tr.Book()
+			if booksMatch(venueSnap, local) {
+				converged = true
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !converged {
+		t.Logf("arbiter: %+v", tr.ArbiterStats())
+		t.Logf("feed: %+v", tr.FeedStats())
+		for i := 0; i < lob.DepthLevels; i++ {
+			t.Logf("L%d venue bid %+v ask %+v | local bid %+v ask %+v",
+				i, venueSnap.Bids[i], venueSnap.Asks[i], local.Bids[i], local.Asks[i])
+		}
+		t.Fatal("book mirror never converged")
+	}
+
+	stats := tr.ArbiterStats()
+	if stats.Delivered == 0 {
+		t.Fatal("nothing delivered through the arbiter")
+	}
+	if stats.Duplicates == 0 {
+		t.Fatalf("dual lossy feeds produced no suppressed duplicates: %+v", stats)
+	}
+	if stats.Recoveries == 0 {
+		t.Fatalf("35%% loss per feed never forced a snapshot recovery: %+v", stats)
+	}
+	fA, fB := faultA.Stats(), faultB.Stats()
+	if fA.Dropped == 0 || fB.Dropped == 0 {
+		t.Fatalf("fault layer injected no loss: A=%+v B=%+v", fA, fB)
+	}
+	if tr.FeedStats().Datagrams == 0 {
+		t.Fatal("trader saw no datagrams")
+	}
+	t.Logf("feed: %+v", tr.FeedStats())
+	t.Logf("arbiter: %+v", stats)
+	t.Logf("inferences: %d", tr.Inferences())
+
+	cancel()
+	<-srvDone
+	<-feedDone
+	<-feedDone
+	feedA.Close()
+	feedB.Close()
+
+	// No goroutine leaks: everything spawned above must wind down.
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseGoroutines+2
+	})
+}
+
+// TestChaosOrderEntryResetReconnects injects an abrupt connection reset
+// into the first order-entry session. The client must re-establish with
+// backoff, apply cancel-on-disconnect to its resting orders, and keep
+// trading on the new session.
+func TestChaosOrderEntryResetReconnects(t *testing.T) {
+	feedSock, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feedSock.Close()
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:  "127.0.0.1:0",
+		FeedAddr:   feedSock.LocalAddr().String(),
+		SecurityID: chaosSecID,
+		Symbol:     chaosSymbol,
+		MidPrice:   450000,
+		Depth:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.Run(ctx) }()
+
+	// First session dies after ~600 bytes cross it; later sessions are
+	// clean.
+	var dials atomic.Int32
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", srv.OrderAddr().String())
+		if err != nil {
+			return nil, err
+		}
+		if dials.Add(1) == 1 {
+			return faultnet.WrapConn(conn, faultnet.ConnFaults{Seed: 7, ResetAfter: 600}), nil
+		}
+		return conn, nil
+	}
+
+	client := trader.NewClient(trader.Config{
+		Dial:               dial,
+		UUID:               0xCAFE02,
+		KeepAliveMillis:    200,
+		BackoffMin:         20 * time.Millisecond,
+		BackoffSeed:        2,
+		CancelOnDisconnect: true,
+	})
+	go func() { _ = client.Run(ctx) }()
+
+	readyCtx, readyCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := client.WaitReady(readyCtx); err != nil {
+		t.Fatalf("first session never established: %v", err)
+	}
+	readyCancel()
+
+	// Rest passive bids until the injected reset tears the session down.
+	// Stop at the FIRST send error: the session is now torn, and sending
+	// again could race past the reconnect's cancel sweep and rest an
+	// order nothing ever cancels.
+	clOrdID := uint64(9000)
+	for i := 0; i < 200; i++ {
+		clOrdID++
+		if err := client.Send(exchange.Request{
+			Kind: exchange.ReqNew, SecurityID: chaosSecID, ClOrdID: clOrdID,
+			Side: lob.Bid, Price: 449995, Qty: 1, Type: exchange.Limit,
+		}); err != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	waitFor(t, 5*time.Second, "re-established session", func() bool {
+		return client.Stats().Reconnects >= 1 && client.Ready()
+	})
+	stats := client.Stats()
+	if stats.Sessions < 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats.CancelsOnReconnect == 0 {
+		t.Fatalf("cancel-on-disconnect sent no cancels: %+v", stats)
+	}
+
+	// The cancels must actually flatten the venue book back to its seeded
+	// depth at our resting price.
+	waitFor(t, 5*time.Second, "venue book flattened", func() bool {
+		snap, ok := srv.Snapshot()
+		if !ok {
+			return false
+		}
+		for _, lvl := range snap.Bids {
+			if lvl.Price == 449995 {
+				return lvl.Qty == 100
+			}
+		}
+		return false
+	})
+
+	// The new session still trades: a fresh order must be acked.
+	before := client.Stats().AcksReceived
+	if err := client.Send(exchange.Request{
+		Kind: exchange.ReqNew, SecurityID: chaosSecID, ClOrdID: 99999,
+		Side: lob.Bid, Price: 449990, Qty: 1,
+	}); err != nil {
+		t.Fatalf("send on re-established session: %v", err)
+	}
+	waitFor(t, 3*time.Second, "ack on new session", func() bool {
+		return client.Stats().AcksReceived > before
+	})
+}
+
+// TestClientKeepAliveExpiryForcesReconnect runs the client against a venue
+// stub that completes the handshake and then goes silent. The client's
+// keep-alive monitor must declare the session dead and redial.
+func TestClientKeepAliveExpiryForcesReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var accepts atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sess := orderentry.NewVenueSession()
+				buf := make([]byte, 0, 1024)
+				tmp := make([]byte, 512)
+				for {
+					conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+					n, err := conn.Read(tmp)
+					if err != nil {
+						return
+					}
+					buf = append(buf, tmp[:n]...)
+					for {
+						f, consumed, derr := orderentry.DecodeSessionFrame(buf)
+						if derr != nil {
+							break
+						}
+						buf = buf[consumed:]
+						out, _ := sess.OnFrame(f, time.Now().UnixNano())
+						if out != nil {
+							conn.Write(out)
+						}
+					}
+					if sess.State() == orderentry.StateEstablished {
+						// Handshake done — go silent; never heartbeat.
+						time.Sleep(5 * time.Second)
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := trader.NewClient(trader.Config{
+		OrderAddr:       ln.Addr().String(),
+		UUID:            0xCAFE03,
+		KeepAliveMillis: 100,
+		BackoffMin:      20 * time.Millisecond,
+		BackoffSeed:     3,
+	})
+	go func() { _ = client.Run(ctx) }()
+
+	waitFor(t, 5*time.Second, "keep-alive expiry and redial", func() bool {
+		s := client.Stats()
+		return s.KeepAliveExpiries >= 1 && accepts.Load() >= 2
+	})
+}

@@ -1,0 +1,438 @@
+// Package trader implements the live client side of the wire path: an
+// order-entry session owner that survives the failures real exchange links
+// deliver. The Client drives the FIXP-style Negotiate/Establish handshake,
+// exchanges keep-alive heartbeats, monitors venue liveness, reconnects with
+// capped exponential backoff plus jitter, and applies a client-enforced
+// cancel-on-disconnect policy when a session is re-established. The Trader
+// type pairs a Client with the arbitrated A/B market-data path
+// (core.FeedHandler) and gates new order flow while the feed is recovering
+// — the graceful-degradation half of the paper's standalone appliance.
+package trader
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/orderentry"
+)
+
+// Client errors.
+var (
+	// ErrNotReady is returned by Send while no established session exists
+	// (connecting, re-establishing, or torn down).
+	ErrNotReady = errors.New("trader: session not established")
+	// ErrKeepAliveExpired ends a session whose venue went silent for three
+	// keep-alive intervals; Run reconnects after it.
+	ErrKeepAliveExpired = errors.New("trader: venue keep-alive expired")
+	// errTerminated ends a session the venue terminated explicitly.
+	errTerminated = errors.New("trader: session terminated by venue")
+)
+
+// Config parameterises a Client.
+type Config struct {
+	// OrderAddr is the venue's TCP order-entry address. Ignored when Dial
+	// is set.
+	OrderAddr string
+	// Dial overrides the default TCP dial — the hook chaos tests use to
+	// interpose faultnet.Conn wrappers.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// UUID identifies the FIXP session across reconnects.
+	UUID uint64
+	// KeepAliveMillis is the negotiated heartbeat interval; 0 selects 500.
+	KeepAliveMillis uint32
+	// BackoffMin/BackoffMax bound the capped exponential reconnect backoff;
+	// zero values select 50ms and 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// BackoffSeed makes the jitter deterministic.
+	BackoffSeed int64
+	// CancelOnDisconnect, when set, sends a cancel for every order believed
+	// resting as soon as a session is re-established, flattening unknown
+	// exposure before new flow resumes.
+	CancelOnDisconnect bool
+	// OnAck receives every decoded execution ack (called without internal
+	// locks held).
+	OnAck func(orderentry.ExecAck)
+	// Logf, when non-nil, receives connection lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts client lifecycle events since construction.
+type Stats struct {
+	Dials              int // connection attempts that reached the handshake
+	Sessions           int // sessions that reached Established
+	Reconnects         int // established sessions after the first
+	HeartbeatsSent     int
+	KeepAliveExpiries  int
+	Terminates         int // venue-initiated terminates
+	OrdersSent         int
+	AcksReceived       int
+	CancelsOnReconnect int
+}
+
+// readTick bounds how long the session loop blocks in a read before
+// checking heartbeat and keep-alive deadlines.
+const readTick = 50 * time.Millisecond
+
+// Client owns one order-entry session end to end.
+type Client struct {
+	cfg  Config
+	dial func(ctx context.Context) (net.Conn, error)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	conn    net.Conn
+	sess    *orderentry.ClientSession
+	ready   bool
+	readyCh chan struct{}
+	resting map[uint64]exchange.Request
+	stats   Stats
+}
+
+// NewClient builds a client; call Run to connect and serve.
+func NewClient(cfg Config) *Client {
+	if cfg.KeepAliveMillis == 0 {
+		cfg.KeepAliveMillis = 500
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.BackoffSeed)),
+		readyCh: make(chan struct{}),
+		resting: make(map[uint64]exchange.Request),
+	}
+	c.dial = cfg.Dial
+	if c.dial == nil {
+		c.dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", cfg.OrderAddr)
+		}
+	}
+	return c
+}
+
+// Stats returns lifecycle counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Ready reports whether an established session is available for Send.
+func (c *Client) Ready() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ready
+}
+
+// WaitReady blocks until a session is established or ctx ends.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		if c.ready {
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.readyCh
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Send encodes and writes one order-entry request on the established
+// session. New limit orders are tracked for the cancel-on-disconnect
+// policy.
+func (c *Client) Send(req exchange.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendLocked(req)
+}
+
+func (c *Client) sendLocked(req exchange.Request) error {
+	if !c.ready || c.conn == nil {
+		return ErrNotReady
+	}
+	buf := orderentry.AppendRequest(nil, req)
+	if len(buf) == 0 {
+		return fmt.Errorf("trader: unencodable request kind %d", req.Kind)
+	}
+	// Track pessimistically, BEFORE the write: if the connection dies
+	// mid-send the request may or may not have reached the venue, and the
+	// safe assumption is always the one that leaves the order tracked. A
+	// new order is tracked immediately (if it did land, the reconnect
+	// sweep cancels it; if it did not, that cancel is rejected harmlessly
+	// and the reject prunes the map). A cancel or the replaced-away side
+	// of a replace is NOT untracked here — only the venue's terminal ack
+	// proves the resting order is gone (handleAck prunes on it).
+	switch req.Kind {
+	case exchange.ReqNew:
+		if req.Type == exchange.Limit {
+			c.resting[req.ClOrdID] = req
+		}
+	case exchange.ReqReplace:
+		replaced := req
+		replaced.ClOrdID = req.NewClOrdID
+		c.resting[req.NewClOrdID] = replaced
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("trader: order write: %w", err)
+	}
+	c.sess.NoteSent(time.Now().UnixNano())
+	c.stats.OrdersSent++
+	return nil
+}
+
+// Run dials, establishes, and serves the session until ctx ends,
+// reconnecting with capped exponential backoff plus jitter after every
+// failure. It returns ctx.Err() once the context is cancelled.
+func (c *Client) Run(ctx context.Context) error {
+	backoff := c.cfg.BackoffMin
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := c.dial(ctx)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.Dials++
+			c.mu.Unlock()
+			err = c.runSession(ctx, conn)
+			conn.Close()
+			wasReady := c.teardown()
+			if wasReady {
+				// A session that made it to Established earns a fresh
+				// backoff ladder.
+				backoff = c.cfg.BackoffMin
+			}
+			c.logf("trader: session ended: %v", err)
+		} else {
+			c.logf("trader: dial: %v", err)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		sleep := c.jitter(backoff)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+		if backoff > c.cfg.BackoffMax {
+			backoff = c.cfg.BackoffMax
+		}
+	}
+}
+
+// jitter adds up to 50% random spread so reconnect storms decorrelate.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d + time.Duration(c.rng.Float64()*float64(d)/2)
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// teardown clears the session after a disconnect, reporting whether it had
+// been established.
+func (c *Client) teardown() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wasReady := c.ready
+	if c.ready {
+		c.ready = false
+		c.readyCh = make(chan struct{})
+	}
+	c.conn = nil
+	c.sess = nil
+	return wasReady
+}
+
+// runSession performs the handshake and serves one connection.
+func (c *Client) runSession(ctx context.Context, conn net.Conn) error {
+	sess := orderentry.NewClientSession(c.cfg.UUID)
+	neg, err := sess.Negotiate(time.Now().UnixNano())
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(neg); err != nil {
+		return fmt.Errorf("trader: negotiate write: %w", err)
+	}
+
+	keepAlive := time.Duration(c.cfg.KeepAliveMillis) * time.Millisecond
+	buf := make([]byte, 0, 8192)
+	tmp := make([]byte, 4096)
+	lastRecv := time.Now()
+	handshakeDeadline := time.Now().Add(3 * keepAlive)
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(readTick))
+		n, rerr := conn.Read(tmp)
+		if n > 0 {
+			buf = append(buf, tmp[:n]...)
+			lastRecv = time.Now()
+		}
+		rest, perr := c.processFrames(buf, sess, conn)
+		buf = rest
+		if perr != nil {
+			return perr
+		}
+		if rerr != nil {
+			var ne net.Error
+			if !errors.As(rerr, &ne) || !ne.Timeout() {
+				// Drained whatever arrived with the error; surface it.
+				return fmt.Errorf("trader: session read: %w", rerr)
+			}
+		}
+		now := time.Now()
+		if sess.State() != orderentry.StateEstablished {
+			if now.After(handshakeDeadline) {
+				return fmt.Errorf("trader: handshake timeout in %v", sess.State())
+			}
+			continue
+		}
+		// Established: heartbeat on cadence, and monitor venue liveness.
+		c.mu.Lock()
+		hb := sess.Heartbeat(now.UnixNano())
+		if hb != nil {
+			c.stats.HeartbeatsSent++
+		}
+		c.mu.Unlock()
+		if hb != nil {
+			if _, err := conn.Write(hb); err != nil {
+				return fmt.Errorf("trader: heartbeat write: %w", err)
+			}
+		}
+		if now.Sub(lastRecv) > 3*keepAlive {
+			c.mu.Lock()
+			c.stats.KeepAliveExpiries++
+			c.mu.Unlock()
+			return ErrKeepAliveExpired
+		}
+	}
+}
+
+// processFrames consumes complete frames: session frames advance the
+// handshake, business frames surface acks. Returns the unconsumed tail.
+func (c *Client) processFrames(buf []byte, sess *orderentry.ClientSession, conn net.Conn) ([]byte, error) {
+	for {
+		sf, consumed, serr := orderentry.DecodeSessionFrame(buf)
+		if serr == nil {
+			buf = buf[consumed:]
+			wasEstablished := sess.State() == orderentry.StateEstablished
+			if err := sess.OnFrame(sf, time.Now().UnixNano()); err != nil {
+				return buf, fmt.Errorf("trader: session frame: %w", err)
+			}
+			switch sess.State() {
+			case orderentry.StateNegotiated:
+				est, err := sess.Establish(time.Now().UnixNano(), c.cfg.KeepAliveMillis)
+				if err != nil {
+					return buf, err
+				}
+				if _, err := conn.Write(est); err != nil {
+					return buf, fmt.Errorf("trader: establish write: %w", err)
+				}
+			case orderentry.StateEstablished:
+				if !wasEstablished {
+					c.onEstablished(conn, sess)
+				}
+			case orderentry.StateTerminated:
+				c.mu.Lock()
+				c.stats.Terminates++
+				c.mu.Unlock()
+				return buf, errTerminated
+			}
+			continue
+		}
+		if errors.Is(serr, orderentry.ErrILinkShort) {
+			return buf, nil
+		}
+		frame, consumed, err := orderentry.DecodeFrame(buf)
+		if errors.Is(err, orderentry.ErrILinkShort) {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, fmt.Errorf("trader: corrupt session stream: %w", err)
+		}
+		buf = buf[consumed:]
+		if frame.Ack != nil {
+			c.handleAck(*frame.Ack)
+		}
+	}
+}
+
+// onEstablished publishes the ready session and applies the
+// cancel-on-disconnect policy on re-establishment.
+func (c *Client) onEstablished(conn net.Conn, sess *orderentry.ClientSession) {
+	c.mu.Lock()
+	c.conn = conn
+	c.sess = sess
+	c.ready = true
+	c.stats.Sessions++
+	reconnect := c.stats.Sessions > 1
+	if reconnect {
+		c.stats.Reconnects++
+	}
+	close(c.readyCh)
+	var cancels []exchange.Request
+	if reconnect && c.cfg.CancelOnDisconnect {
+		for _, req := range c.resting {
+			cancels = append(cancels, exchange.Request{
+				Kind: exchange.ReqCancel, SecurityID: req.SecurityID, ClOrdID: req.ClOrdID,
+			})
+		}
+	}
+	for _, cancel := range cancels {
+		if err := c.sendLocked(cancel); err != nil {
+			break
+		}
+		c.stats.CancelsOnReconnect++
+	}
+	c.mu.Unlock()
+	c.logf("trader: session established (uuid %#x, reconnect=%v, cancels=%d)",
+		c.cfg.UUID, reconnect, len(cancels))
+}
+
+// handleAck updates the resting-order book view and forwards the ack.
+func (c *Client) handleAck(ack orderentry.ExecAck) {
+	c.mu.Lock()
+	c.stats.AcksReceived++
+	switch ack.Exec {
+	case exchange.ExecFilled, exchange.ExecCanceled, exchange.ExecRejected:
+		delete(c.resting, ack.ClOrdID)
+	}
+	cb := c.cfg.OnAck
+	c.mu.Unlock()
+	if cb != nil {
+		cb(ack)
+	}
+}
+
+// RestingOrders returns the client's view of its live resting orders.
+func (c *Client) RestingOrders() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.resting)
+}

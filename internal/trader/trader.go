@@ -1,0 +1,160 @@
+package trader
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/mdclient"
+	"lighttrader/internal/orderentry"
+)
+
+// FeedStats counts feed-side trader events.
+type FeedStats struct {
+	Datagrams    int // datagrams ingested across all feed sockets
+	BadDatagrams int // undecodable (e.g. corrupted) datagrams discarded
+	Suppressed   int // orders gated off while degraded
+	OrdersRouted int // orders handed to the client
+}
+
+// Trader is the full live tick-to-trade loop: arbitrated A/B market data in
+// through core.FeedHandler, the functional pipeline in the middle, and a
+// resilient order-entry Client out. While the feed is recovering from a gap
+// or the session is re-establishing, freshly generated orders are
+// suppressed — the appliance degrades to flat rather than trading on a book
+// it cannot trust.
+type Trader struct {
+	client *Client
+
+	mu       sync.Mutex
+	pipeline *core.Pipeline
+	feed     *core.FeedHandler
+	stats    FeedStats
+}
+
+// New assembles a Trader. The client's OnAck is chained so execution acks
+// flow back into the pipeline's trading engine; any OnAck already present
+// in cfg still runs.
+func New(cfg Config, pipeline *core.Pipeline, reorderWindow int) *Trader {
+	t := &Trader{pipeline: pipeline}
+	t.feed = core.NewFeedHandler(pipeline, reorderWindow)
+	userAck := cfg.OnAck
+	cfg.OnAck = func(ack orderentry.ExecAck) {
+		t.onAck(ack)
+		if userAck != nil {
+			userAck(ack)
+		}
+	}
+	t.client = NewClient(cfg)
+	return t
+}
+
+// Client exposes the order-entry session owner (Run it alongside the feed).
+func (t *Trader) Client() *Client { return t.client }
+
+// FeedStats returns feed-side counters.
+func (t *Trader) FeedStats() FeedStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ArbiterStats returns the A/B arbitration counters.
+func (t *Trader) ArbiterStats() mdclient.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.feed.Stats()
+}
+
+// Recovering reports whether the feed has declared a gap and awaits a
+// snapshot.
+func (t *Trader) Recovering() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.feed.Recovering()
+}
+
+// Book returns the pipeline's local book mirror.
+func (t *Trader) Book() lob.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pipeline.Snapshot(time.Now().UnixNano())
+}
+
+// Inferences returns the pipeline's forward-pass count.
+func (t *Trader) Inferences() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pipeline.Inferences()
+}
+
+// onAck serialises execution reports into the pipeline. Binary acks do not
+// carry the side; the trading engine recalls it from its own records.
+func (t *Trader) onAck(ack orderentry.ExecAck) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pipeline.OnExecReport(exchange.ExecReport{
+		Exec: ack.Exec, ClOrdID: ack.ClOrdID, Price: ack.Price, Qty: ack.Qty,
+	})
+}
+
+// OnDatagram ingests one datagram from either feed, routing any generated
+// orders to the client unless the loop is degraded (feed recovering or
+// session not established).
+func (t *Trader) OnDatagram(buf []byte) error {
+	t.mu.Lock()
+	t.stats.Datagrams++
+	reqs, err := t.feed.OnDatagram(buf)
+	if err != nil {
+		t.stats.BadDatagrams++
+		t.mu.Unlock()
+		return err
+	}
+	degraded := t.feed.Recovering() || !t.client.Ready()
+	if degraded {
+		t.stats.Suppressed += len(reqs)
+		t.mu.Unlock()
+		return nil
+	}
+	t.stats.OrdersRouted += len(reqs)
+	t.mu.Unlock()
+	for _, req := range reqs {
+		if err := t.client.Send(req); err != nil {
+			// The session dropped between the gate and the write; the
+			// client will re-establish and cancel-on-disconnect applies.
+			return nil
+		}
+	}
+	return nil
+}
+
+// ServeFeed reads datagrams from conn into the trader until ctx ends.
+// Corrupt datagrams are counted and discarded — a lossy feed must degrade
+// the loop, never kill it. Run one ServeFeed goroutine per redundant feed
+// socket.
+func (t *Trader) ServeFeed(ctx context.Context, conn net.PacketConn) error {
+	buf := make([]byte, 64<<10)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		_ = t.OnDatagram(buf[:n]) // bad datagrams already counted
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -29,6 +28,10 @@ type ServerConfig struct {
 	OrderAddr string
 	// FeedAddr is the UDP destination market data is published to.
 	FeedAddr string
+	// FeedAddrB, when non-empty, is a second UDP destination every packet
+	// is also published to — the redundant B channel real venues run, so
+	// mdclient.Arbiter's A/B arbitration is exercised over real sockets.
+	FeedAddrB string
 	// SecurityID and Symbol define the single listed instrument.
 	SecurityID int32
 	Symbol     string
@@ -40,6 +43,9 @@ type ServerConfig struct {
 	NoiseInterval time.Duration
 	// NoiseSeed makes the background flow deterministic.
 	NoiseSeed int64
+	// SnapshotInterval is the cadence of the recovery snapshot channel;
+	// zero selects one second.
+	SnapshotInterval time.Duration
 }
 
 // Server is a single-instrument exchange reachable over real sockets.
@@ -48,9 +54,13 @@ type Server struct {
 	ln       net.Listener
 	feedConn net.PacketConn
 	feedDst  net.Addr
+	feedDstB net.Addr
 
-	// reqCh serialises all engine access onto the run goroutine.
-	reqCh chan serverReq
+	// reqCh serialises all engine access onto the run goroutine; snapCh and
+	// noiseCh ride the same goroutine for book reads and noise control.
+	reqCh   chan serverReq
+	snapCh  chan chan lob.Snapshot
+	noiseCh chan bool
 
 	mu     sync.Mutex
 	closed bool
@@ -81,17 +91,52 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		feedConn.Close()
 		return nil, fmt.Errorf("exchange: feed destination: %w", err)
 	}
+	var feedDstB net.Addr
+	if cfg.FeedAddrB != "" {
+		b, err := net.ResolveUDPAddr("udp", cfg.FeedAddrB)
+		if err != nil {
+			ln.Close()
+			feedConn.Close()
+			return nil, fmt.Errorf("exchange: feed B destination: %w", err)
+		}
+		feedDstB = b
+	}
 	return &Server{
 		cfg:      cfg,
 		ln:       ln,
 		feedConn: feedConn,
 		feedDst:  feedDst,
+		feedDstB: feedDstB,
 		reqCh:    make(chan serverReq, 64),
+		snapCh:   make(chan chan lob.Snapshot),
+		noiseCh:  make(chan bool),
 	}, nil
 }
 
 // OrderAddr returns the bound TCP order-entry address.
 func (s *Server) OrderAddr() net.Addr { return s.ln.Addr() }
+
+// Snapshot returns the venue's authoritative top-of-book, serialised
+// through the engine goroutine. ok is false when the server is not running.
+func (s *Server) Snapshot() (lob.Snapshot, bool) {
+	reply := make(chan lob.Snapshot, 1)
+	select {
+	case s.snapCh <- reply:
+		return <-reply, true
+	case <-time.After(2 * time.Second):
+		return lob.Snapshot{}, false
+	}
+}
+
+// SetNoise pauses or resumes the background noise trader, so tests can
+// quiesce the book before comparing it against a subscriber's mirror. It is
+// a no-op when the server was configured without noise.
+func (s *Server) SetNoise(enabled bool) {
+	select {
+	case s.noiseCh <- enabled:
+	case <-time.After(2 * time.Second):
+	}
+}
 
 // Run serves until ctx is cancelled. It owns the matching engine: all
 // order-entry requests and noise-trader actions are serialised here,
@@ -99,6 +144,9 @@ func (s *Server) OrderAddr() net.Addr { return s.ln.Addr() }
 func (s *Server) Run(ctx context.Context) error {
 	eng := exchange.New(func() int64 { return time.Now().UnixNano() }, func(buf []byte) {
 		_, _ = s.feedConn.WriteTo(buf, s.feedDst)
+		if s.feedDstB != nil {
+			_, _ = s.feedConn.WriteTo(buf, s.feedDstB)
+		}
 	})
 	eng.ListSecurity(s.cfg.SecurityID, s.cfg.Symbol)
 	s.seedBook(eng)
@@ -113,7 +161,11 @@ func (s *Server) Run(ctx context.Context) error {
 		noiseTick.Reset(s.cfg.NoiseInterval)
 	}
 
-	snapshotTick := time.NewTicker(time.Second)
+	snapEvery := s.cfg.SnapshotInterval
+	if snapEvery <= 0 {
+		snapEvery = time.Second
+	}
+	snapshotTick := time.NewTicker(snapEvery)
 	defer snapshotTick.Stop()
 
 	for {
@@ -123,6 +175,21 @@ func (s *Server) Run(ctx context.Context) error {
 			return ctx.Err()
 		case r := <-s.reqCh:
 			r.reply <- eng.Submit(r.req)
+		case reply := <-s.snapCh:
+			var snap lob.Snapshot
+			if book, ok := eng.Book(s.cfg.SecurityID); ok {
+				snap = book.TakeSnapshot(time.Now().UnixNano())
+			}
+			reply <- snap
+		case enabled := <-s.noiseCh:
+			if noise == nil {
+				break
+			}
+			if enabled {
+				noiseTick.Reset(s.cfg.NoiseInterval)
+			} else {
+				noiseTick.Stop()
+			}
 		case <-noiseTick.C:
 			if noise != nil {
 				noise.step()
@@ -154,86 +221,168 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
+// connState is the per-connection serve state shared between the read loop
+// and the frame processor.
+type connState struct {
+	session *orderentry.VenueSession
+	legacy  bool
+	reply   chan []exchange.ExecReport
+	lastHB  time.Time
+}
+
+// serveTick bounds how long serveConn blocks in a read before checking
+// keep-alive expiry and heartbeat deadlines.
+const serveTick = 100 * time.Millisecond
+
 // serveConn reads iLink frames, submits them to the engine goroutine, and
 // writes ExecAck frames back. Sessions may open with the FIXP-style
 // Negotiate/Establish handshake (orderentry.VenueSession); clients that
-// send a business frame first run in legacy implicit-session mode.
+// send a business frame first run in legacy implicit-session mode. The
+// read loop is deadline-driven so the venue can terminate established
+// sessions whose keep-alive lapsed and emit its own Sequence heartbeats.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	buf := make([]byte, 0, 4096)
 	tmp := make([]byte, 2048)
-	reply := make(chan []exchange.ExecReport, 1)
-	session := orderentry.NewVenueSession()
-	legacy := false
+	st := &connState{
+		session: orderentry.NewVenueSession(),
+		reply:   make(chan []exchange.ExecReport, 1),
+		lastHB:  time.Now(),
+	}
 	for {
+		_ = conn.SetReadDeadline(time.Now().Add(serveTick))
 		n, err := conn.Read(tmp)
-		if err != nil {
-			if err != io.EOF {
-				return
-			}
+		if n > 0 {
+			buf = append(buf, tmp[:n]...)
+		}
+		// Drain every complete frame already buffered before acting on the
+		// read error: a peer may write a frame and close in one burst, and
+		// those bytes can arrive together with EOF.
+		rest, ok := s.processFrames(ctx, conn, buf, st)
+		buf = rest
+		if !ok {
 			return
 		}
-		buf = append(buf, tmp[:n]...)
-		for {
-			if sf, consumed, serr := orderentry.DecodeSessionFrame(buf); serr == nil {
-				buf = buf[consumed:]
-				out, stateErr := session.OnFrame(sf, time.Now().UnixNano())
-				if out != nil {
-					if _, werr := conn.Write(out); werr != nil {
-						return
-					}
-				}
-				if stateErr != nil || session.State() == orderentry.StateTerminated {
-					return
-				}
-				continue
-			} else if errors.Is(serr, orderentry.ErrILinkShort) {
-				break
-			}
-			frame, consumed, err := orderentry.DecodeFrame(buf)
-			if errors.Is(err, orderentry.ErrILinkShort) {
-				break
-			}
-			if err != nil {
-				return // protocol violation: drop session
-			}
-			buf = buf[consumed:]
-			if frame.Request == nil {
-				continue
-			}
-			switch session.State() {
-			case orderentry.StateEstablished:
-				_ = session.OnBusiness(time.Now().UnixNano())
-			case orderentry.StateIdle:
-				legacy = true // implicit session for protocol-light clients
-			default:
-				if !legacy {
-					_, _ = conn.Write(orderentry.AppendTerminate(nil, session.UUID(),
-						orderentry.TerminateProtocolError))
-					return
-				}
-			}
-			select {
-			case s.reqCh <- serverReq{req: *frame.Request, reply: reply}:
-			case <-ctx.Done():
+		if err == nil {
+			continue
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			now := time.Now()
+			if st.session.Expired(now.UnixNano()) {
+				_, _ = conn.Write(orderentry.AppendTerminate(nil, st.session.UUID(),
+					orderentry.TerminateKeepAliveExpired))
 				return
 			}
-			var out []byte
-			for _, rep := range <-reply {
-				out = orderentry.AppendExecAck(out, orderentry.ExecAck{
-					ClOrdID:    rep.ClOrdID,
-					Price:      rep.Price,
-					Qty:        rep.Qty,
-					SecurityID: rep.SecurityID,
-					Exec:       rep.Exec,
-				})
-			}
-			if len(out) > 0 {
-				if _, err := conn.Write(out); err != nil {
-					return
+			s.maybeHeartbeat(conn, st, now)
+			continue
+		}
+		return // EOF or hard error; buffered frames already drained
+	}
+}
+
+// maybeHeartbeat writes a venue-side Sequence frame once per keep-alive
+// interval so established clients can monitor venue liveness.
+func (s *Server) maybeHeartbeat(conn net.Conn, st *connState, now time.Time) {
+	if st.session.State() != orderentry.StateEstablished {
+		return
+	}
+	every := time.Duration(st.session.KeepAlive()) * time.Millisecond
+	if every <= 0 || now.Sub(st.lastHB) < every {
+		return
+	}
+	st.lastHB = now
+	_, _ = conn.Write(orderentry.AppendSequence(nil, st.session.UUID(), st.session.NextSeqNo()))
+}
+
+// processFrames consumes every complete frame in buf, returning the
+// unconsumed remainder and whether the connection should stay open. Session
+// frames advance the FIXP state machine; business frames are submitted to
+// the engine goroutine and acked. Malformed frames terminate the session —
+// never the server: the decoder returns errors (not panics) for corrupt
+// SOFH lengths, and consumed is always positive on success, so this loop
+// cannot spin.
+func (s *Server) processFrames(ctx context.Context, conn net.Conn, buf []byte, st *connState) ([]byte, bool) {
+	for {
+		sf, consumed, serr := orderentry.DecodeSessionFrame(buf)
+		if serr == nil {
+			buf = buf[consumed:]
+			out, stateErr := st.session.OnFrame(sf, time.Now().UnixNano())
+			if out != nil {
+				st.lastHB = time.Now()
+				if _, werr := conn.Write(out); werr != nil {
+					return buf, false
 				}
 			}
+			if stateErr != nil || st.session.State() == orderentry.StateTerminated {
+				return buf, false
+			}
+			continue
 		}
+		if errors.Is(serr, orderentry.ErrILinkShort) {
+			return buf, true // incomplete frame: wait for more bytes
+		}
+		if !errors.Is(serr, orderentry.ErrNotSessionFrame) {
+			// Corrupt framing (bad SOFH length, unknown encoding): tell the
+			// peer why and drop only this session.
+			s.terminateProtocolError(conn, st)
+			return buf, false
+		}
+		frame, consumed, err := orderentry.DecodeFrame(buf)
+		if errors.Is(err, orderentry.ErrILinkShort) {
+			return buf, true
+		}
+		if err != nil {
+			s.terminateProtocolError(conn, st)
+			return buf, false
+		}
+		buf = buf[consumed:]
+		if frame.Request == nil {
+			continue
+		}
+		switch st.session.State() {
+		case orderentry.StateEstablished:
+			_ = st.session.OnBusiness(time.Now().UnixNano())
+		case orderentry.StateIdle:
+			st.legacy = true // implicit session for protocol-light clients
+		default:
+			if !st.legacy {
+				_, _ = conn.Write(orderentry.AppendTerminate(nil, st.session.UUID(),
+					orderentry.TerminateProtocolError))
+				return buf, false
+			}
+		}
+		select {
+		case s.reqCh <- serverReq{req: *frame.Request, reply: st.reply}:
+		case <-ctx.Done():
+			return buf, false
+		}
+		var out []byte
+		for _, rep := range <-st.reply {
+			out = orderentry.AppendExecAck(out, orderentry.ExecAck{
+				ClOrdID:    rep.ClOrdID,
+				Price:      rep.Price,
+				Qty:        rep.Qty,
+				SecurityID: rep.SecurityID,
+				Exec:       rep.Exec,
+			})
+		}
+		if len(out) > 0 {
+			st.lastHB = time.Now()
+			if _, err := conn.Write(out); err != nil {
+				return buf, false
+			}
+		}
+	}
+}
+
+// terminateProtocolError notifies negotiated/established peers before the
+// connection drops; idle and legacy streams are cut silently.
+func (s *Server) terminateProtocolError(conn net.Conn, st *connState) {
+	if st.session.State() == orderentry.StateNegotiated ||
+		st.session.State() == orderentry.StateEstablished {
+		_, _ = conn.Write(orderentry.AppendTerminate(nil, st.session.UUID(),
+			orderentry.TerminateProtocolError))
 	}
 }
 
