@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# API-compatibility gate: the exported surface of the root package must
+# match the checked-in golden snapshot. Deliberate API changes are recorded
+# with api-update and reviewed as part of the diff.
+api-check:
+	$(GO) test -run '^TestAPISnapshot$$' .
+
+api-update:
+	$(GO) test -run '^TestAPISnapshot$$' . -update-api
 
 # Kernel/inference micro-benchmarks (GEMM, conv, LSTM, model inference),
 # archived as JSON so runs can be diffed. See EXPERIMENTS.md.
@@ -44,7 +53,8 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacket$$ -fuzztime=10s ./internal/sbe/
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodeMessage$$ -fuzztime=10s ./internal/sbe/
 
-# The full CI gate: formatting, static analysis, build, the test suite
-# under the race detector, a single-iteration benchmark smoke run, and a
-# short fuzz pass over the wire decoders.
-ci: fmt-check vet build race bench-smoke fuzz-smoke
+# The full CI gate: formatting, static analysis, build, the API snapshot,
+# the test suite under the race detector (which covers the concurrent
+# serving runtime in internal/serve), a single-iteration benchmark smoke
+# run, and a short fuzz pass over the wire decoders.
+ci: fmt-check vet build api-check race bench-smoke fuzz-smoke

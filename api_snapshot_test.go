@@ -1,0 +1,141 @@
+package lighttrader
+
+// The API-compatibility gate: the exported surface of this package is
+// rendered to a canonical text form and compared against the checked-in
+// golden snapshot (testdata/api.txt). An unintended signature change,
+// removal or rename fails `make api-check` (part of `make ci`); a
+// deliberate API change is recorded with `make api-update` and reviewed as
+// part of the diff.
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt from the current exported surface")
+
+var wsRun = regexp.MustCompile(`\s+`)
+
+// renderAPI parses the non-test files of the root package and returns one
+// sorted line per exported declaration.
+func renderAPI(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	emit := func(prefix string, node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, strings.TrimSpace(prefix+wsRun.ReplaceAllString(buf.String(), " ")))
+	}
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // the facade has no exported methods of its own
+				}
+				d.Body, d.Doc = nil, nil
+				emit("", d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						s.Doc, s.Comment = nil, nil
+						emit("type ", s)
+					case *ast.ValueSpec:
+						s.Doc, s.Comment = nil, nil
+						for i, n := range s.Names {
+							if !n.IsExported() {
+								continue
+							}
+							line := d.Tok.String() + " " + n.Name
+							if s.Type != nil {
+								var buf bytes.Buffer
+								if err := printer.Fprint(&buf, fset, s.Type); err != nil {
+									t.Fatal(err)
+								}
+								line += " " + wsRun.ReplaceAllString(buf.String(), " ")
+							}
+							if i < len(s.Values) {
+								var buf bytes.Buffer
+								if err := printer.Fprint(&buf, fset, s.Values[i]); err != nil {
+									t.Fatal(err)
+								}
+								line += " = " + wsRun.ReplaceAllString(buf.String(), " ")
+							}
+							lines = append(lines, line)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestAPISnapshot(t *testing.T) {
+	got := strings.Join(renderAPI(t), "\n") + "\n"
+	const golden = "testdata/api.txt"
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d declarations)", golden, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API golden (%v) — run `make api-update` and review the diff", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := strings.Split(strings.TrimSpace(got), "\n")
+	wantSet := strings.Split(strings.TrimSpace(want), "\n")
+	in := func(set []string, line string) bool {
+		i := sort.SearchStrings(set, line)
+		return i < len(set) && set[i] == line
+	}
+	for _, l := range wantSet {
+		if !in(gotSet, l) {
+			t.Errorf("removed or changed: %s", l)
+		}
+	}
+	for _, l := range gotSet {
+		if !in(wantSet, l) {
+			t.Errorf("added or changed: %s", l)
+		}
+	}
+	t.Fatal("exported API surface diverged from testdata/api.txt — if intended, run `make api-update` and commit the new snapshot")
+}

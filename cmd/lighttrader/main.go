@@ -1,15 +1,20 @@
 // Command lighttrader runs a back-test of the LightTrader system (or a
 // baseline) against a synthetic or recorded tick trace and prints the
-// response-rate / latency metrics.
+// response-rate / latency metrics. With -serve it instead drives the
+// concurrent multi-symbol serving runtime (online Algorithm-1 batching
+// across worker lanes) over a shared feed and reports the modelled
+// throughput scaling.
 //
 // Usage:
 //
 //	lighttrader -model deeplob -accels 4 -power sufficient -ws -ds
 //	lighttrader -trace ticks.lttr -system gpu
 //	lighttrader -ticks 50000 -tavail 20ms -seed 7
+//	lighttrader -serve -symbols 8 -accels 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,15 +27,27 @@ import (
 func main() {
 	model := flag.String("model", "deeplob", "DNN model: cnn, translob, deeplob")
 	system := flag.String("system", "lighttrader", "system under test: lighttrader, gpu, fpga")
-	accels := flag.Int("accels", 4, "number of AI accelerators (lighttrader only)")
+	accels := flag.Int("accels", 4, "number of AI accelerators (worker lanes in -serve mode)")
 	power := flag.String("power", "sufficient", "power condition: sufficient, limited")
 	ws := flag.Bool("ws", false, "enable workload scheduling (Algorithm 1 batching)")
 	ds := flag.Bool("ds", false, "enable DVFS scheduling (Algorithm 2)")
-	ticks := flag.Int("ticks", 40000, "synthetic trace length")
+	ticks := flag.Int("ticks", 40000, "synthetic trace length (total packets in -serve mode)")
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
 	tracePath := flag.String("trace", "", "replay a recorded trace file instead of generating one")
 	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
+	serveMode := flag.Bool("serve", false, "drive the concurrent serving runtime instead of a back-test")
+	symbols := flag.Int("symbols", 8, "subscribed instruments (-serve mode)")
 	flag.Parse()
+
+	pc := lighttrader.Sufficient
+	if strings.EqualFold(*power, "limited") {
+		pc = lighttrader.Limited
+	}
+
+	if *serveMode {
+		runServe(*symbols, *accels, *ticks, *seed, pc, *ds)
+		return
+	}
 
 	m, err := pickModel(*model)
 	if err != nil {
@@ -44,13 +61,17 @@ func main() {
 	var sys lighttrader.System
 	switch strings.ToLower(*system) {
 	case "lighttrader", "lt":
-		pc := lighttrader.Sufficient
-		if strings.EqualFold(*power, "limited") {
-			pc = lighttrader.Limited
+		opts := []lighttrader.Option{
+			lighttrader.WithAccelerators(*accels),
+			lighttrader.WithPowerBudget(pc),
 		}
-		sys, err = lighttrader.NewLightTrader(m, *accels, pc, lighttrader.SchedulerOptions{
-			WorkloadScheduling: *ws, DVFSScheduling: *ds,
-		})
+		if *ws {
+			opts = append(opts, lighttrader.WithWorkloadScheduling())
+		}
+		if *ds {
+			opts = append(opts, lighttrader.WithDVFSScheduling())
+		}
+		sys, err = lighttrader.New(m, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,6 +101,130 @@ func main() {
 		fmt.Printf("energy          %.1f J (avg %.1f W)\n", metrics.EnergyJoules, metrics.AvgPowerWatts)
 	}
 	fmt.Printf("simulated in    %v\n", elapsed.Round(time.Millisecond))
+}
+
+// runServe replays one shared multi-instrument feed through the serving
+// runtime twice — one lane, then the requested lane count — and compares
+// the modelled makespan (Σ issued batch latency per lane, max over lanes).
+// Queues are pre-filled before the lanes start so the Algorithm-1 batch
+// decisions, and therefore the modelled times, are deterministic.
+func runServe(symbols, lanes, total int, seed int64, pc lighttrader.PowerCondition, ds bool) {
+	if symbols < 1 || lanes < 1 {
+		fatal(fmt.Errorf("-serve needs -symbols >= 1 and -accels >= 1"))
+	}
+	events := total / symbols
+	if events < 300 {
+		events = 300 // enough to fill the model window and still measure
+	}
+
+	traces := make([][]lighttrader.Tick, symbols)
+	for i := range traces {
+		cfg := lighttrader.DefaultTraceConfig()
+		cfg.Symbol = fmt.Sprintf("SIM%d", i+1)
+		cfg.SecurityID = int32(i + 1)
+		cfg.Seed = seed + int64(i)
+		traces[i] = lighttrader.GenerateTrace(cfg, events)
+	}
+	var packets [][]byte
+	var arrivals []int64
+	for j := 0; j < events; j++ {
+		for i := range traces {
+			packets = append(packets, traces[i][j].Packet)
+			arrivals = append(arrivals, traces[i][j].TimeNanos)
+		}
+	}
+	// Fresh pipelines per run: NewSizedCNN self-seeds from its shape, so
+	// every run starts from identical weights and identical empty books.
+	build := func() *lighttrader.MultiPipeline {
+		mp := lighttrader.NewMultiPipeline()
+		for i := range traces {
+			tcfg := lighttrader.DefaultTradingConfig(int32(i + 1))
+			tcfg.MinConfidence = 0.2
+			if err := mp.Add(fmt.Sprintf("SIM%d", i+1), int32(i+1),
+				lighttrader.NewSizedCNN("serve", 8, 0),
+				lighttrader.CalibrateNormalizer(traces[i]), tcfg); err != nil {
+				fatal(err)
+			}
+		}
+		return mp
+	}
+
+	run := func(n int) (lighttrader.ServeStats, int64, time.Duration, int) {
+		log := lighttrader.NewOrderLog()
+		opts := []lighttrader.Option{
+			lighttrader.WithAccelerators(n),
+			lighttrader.WithPowerBudget(pc),
+			lighttrader.WithWorkloadScheduling(),
+			lighttrader.WithMaxQueue(len(packets) + 1),
+			lighttrader.WithOrderSink(log.Sink()),
+		}
+		if ds {
+			opts = append(opts, lighttrader.WithDVFSScheduling())
+		}
+		srv, err := lighttrader.NewServer(build(), opts...)
+		if err != nil {
+			fatal(err)
+		}
+		for i, buf := range packets {
+			if err := srv.Submit(arrivals[i], buf); err != nil {
+				fatal(err)
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		start := time.Now()
+		go func() { defer close(done); _ = srv.Run(ctx) }()
+		srv.Drain()
+		wall := time.Since(start)
+		cancel()
+		<-done
+		var makespan int64
+		for _, busy := range srv.ModelledBusyNanos() {
+			if busy > makespan {
+				makespan = busy
+			}
+		}
+		return srv.Stats(), makespan, wall, log.Total()
+	}
+
+	sched := "WS"
+	if ds {
+		sched += "+DS"
+	}
+	fmt.Printf("serving: %d symbols x %d events = %d packets, sized CNN (8 ch), %s, %s power\n\n",
+		symbols, events, len(packets), sched, pcName(pc))
+	fmt.Printf("%5s %15s %6s %8s %11s %7s %18s %10s\n",
+		"lanes", "served", "drops", "batches", "mean batch", "orders", "modelled makespan", "wall")
+	var base int64
+	for _, n := range laneSweep(lanes) {
+		st, makespan, wall, orders := run(n)
+		fmt.Printf("%5d %8d/%-6d %6d %8d %11.2f %7d %18v %10v\n",
+			n, st.Served, st.Submitted, st.Dropped(), st.Batches, st.MeanBatch,
+			orders, time.Duration(makespan).Round(time.Microsecond),
+			wall.Round(time.Millisecond))
+		if n == 1 {
+			base = makespan
+		} else if base > 0 && makespan > 0 {
+			fmt.Printf("      modelled speedup at %d lanes: %.2fx\n",
+				n, float64(base)/float64(makespan))
+		}
+	}
+	fmt.Println("\nModelled makespan is the accelerator-time model (wall clock depends on")
+	fmt.Println("host cores); single-lane output is byte-identical to the serial path.")
+}
+
+func laneSweep(lanes int) []int {
+	if lanes == 1 {
+		return []int{1}
+	}
+	return []int{1, lanes}
+}
+
+func pcName(pc lighttrader.PowerCondition) string {
+	if pc == lighttrader.Limited {
+		return "limited"
+	}
+	return "sufficient"
 }
 
 func pickModel(name string) (*lighttrader.Model, error) {

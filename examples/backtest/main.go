@@ -25,8 +25,10 @@ func main() {
 
 	fmt.Println("LightTrader (workload + DVFS scheduling, sufficient power):")
 	for _, n := range []int{1, 2, 4, 8} {
-		sys, err := lighttrader.NewLightTrader(model, n, lighttrader.Sufficient,
-			lighttrader.SchedulerOptions{WorkloadScheduling: true, DVFSScheduling: true})
+		sys, err := lighttrader.New(model,
+			lighttrader.WithAccelerators(n),
+			lighttrader.WithWorkloadScheduling(),
+			lighttrader.WithDVFSScheduling())
 		if err != nil {
 			log.Fatal(err)
 		}

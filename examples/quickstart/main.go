@@ -1,10 +1,12 @@
-// Quickstart: one tick through the whole AI-enabled HFT pipeline.
+// Quickstart: one tick through the whole AI-enabled HFT pipeline, via the
+// serving facade.
 //
 // It generates a short burst of market data, calibrates the offload
-// engine's Z-score normaliser, then feeds encoded market-data packets
-// through the functional tick-to-trade path — SBE parse → local book →
+// engine's Z-score normaliser, subscribes one instrument on a
+// MultiPipeline, and feeds encoded market-data packets through an inline
+// (serial, synchronous) serving runtime — SBE parse → local book →
 // feature map → real DNN forward pass → risk-checked order generation —
-// and prints what the system decided on the final ticks.
+// printing what the system decided on the final ticks.
 //
 //	go run ./examples/quickstart
 package main
@@ -26,21 +28,32 @@ func main() {
 	tcfg := lighttrader.DefaultTradingConfig(cfg.SecurityID)
 	tcfg.MinConfidence = 0.34 // act on any directional lean
 
-	pipeline, err := lighttrader.NewPipeline(cfg.Symbol, cfg.SecurityID,
-		lighttrader.NewVanillaCNN(), norm, tcfg)
+	mp := lighttrader.NewMultiPipeline()
+	if err := mp.Add(cfg.Symbol, cfg.SecurityID,
+		lighttrader.NewVanillaCNN(), norm, tcfg); err != nil {
+		log.Fatal(err)
+	}
+
+	// WithInline selects the degenerate serial configuration: Submit runs
+	// the pipeline on this goroutine and orders reach the sink before it
+	// returns. Drop WithInline (and add WithAccelerators) for the
+	// concurrent runtime — see examples/serving.
+	orders := lighttrader.NewOrderLog()
+	srv, err := lighttrader.NewServer(mp,
+		lighttrader.WithInline(),
+		lighttrader.WithOrderSink(orders.Sink()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("quickstart: %s, %d ticks\n\n", cfg.Symbol, len(trace))
-	var orders int
+	seen := 0
 	for i, tick := range trace {
-		reqs, err := pipeline.OnPacket(tick.Packet)
-		if err != nil {
+		if err := srv.Submit(tick.TimeNanos, tick.Packet); err != nil {
 			log.Fatalf("tick %d: %v", i, err)
 		}
-		for _, req := range reqs {
-			orders++
+		for _, req := range orders.Orders(cfg.SecurityID)[seen:] {
+			seen++
 			side := "BUY "
 			if req.Side == 1 {
 				side = "SELL"
@@ -50,12 +63,13 @@ func main() {
 		}
 	}
 
-	snap := pipeline.Snapshot(0)
+	snap, _ := srv.Snapshot(cfg.SecurityID, 0)
 	fmt.Printf("\nprocessed %d ticks, ran %d inferences, generated %d orders\n",
-		pipeline.Ticks(), pipeline.Inferences(), orders)
+		len(trace), srv.Inferences(cfg.SecurityID), orders.Total())
 	fmt.Printf("final book: best bid %d x %d | best ask %d x %d\n",
 		snap.Bids[0].Price, snap.Bids[0].Qty, snap.Asks[0].Price, snap.Asks[0].Qty)
-	for _, d := range pipeline.Trader().Decisions()[:min(5, len(pipeline.Trader().Decisions()))] {
+	decisions := mp.Pipelines()[0].Trader().Decisions()
+	for _, d := range decisions[:min(5, len(decisions))] {
 		fmt.Printf("decision: %-10s conf %.2f acted=%v %s\n",
 			d.Direction, d.Confidence, d.Acted, d.Suppressed)
 	}

@@ -26,19 +26,23 @@ func main() {
 
 	configs := []struct {
 		name string
-		opts lighttrader.SchedulerOptions
+		opts []lighttrader.Option
 	}{
-		{"baseline (no scheduling)", lighttrader.SchedulerOptions{}},
-		{"WS  (Algorithm 1 batching)", lighttrader.SchedulerOptions{WorkloadScheduling: true}},
-		{"DS  (Algorithm 2 power)", lighttrader.SchedulerOptions{DVFSScheduling: true}},
-		{"WS+DS", lighttrader.SchedulerOptions{WorkloadScheduling: true, DVFSScheduling: true}},
+		{"baseline (no scheduling)", nil},
+		{"WS  (Algorithm 1 batching)", []lighttrader.Option{lighttrader.WithWorkloadScheduling()}},
+		{"DS  (Algorithm 2 power)", []lighttrader.Option{lighttrader.WithDVFSScheduling()}},
+		{"WS+DS", []lighttrader.Option{
+			lighttrader.WithWorkloadScheduling(), lighttrader.WithDVFSScheduling()}},
 	}
 
 	fmt.Printf("scheduler study: TransLOB, N=%d, limited power (%g W for accelerators)\n\n",
 		accels, lighttrader.Limited.AccelBudgetWatts)
 	fmt.Printf("%-28s %9s %10s %11s %10s\n", "configuration", "miss", "mean batch", "p99 t2t", "energy")
 	for _, c := range configs {
-		sys, err := lighttrader.NewLightTrader(model, accels, lighttrader.Limited, c.opts)
+		sys, err := lighttrader.New(model, append([]lighttrader.Option{
+			lighttrader.WithAccelerators(accels),
+			lighttrader.WithPowerBudget(lighttrader.Limited),
+		}, c.opts...)...)
 		if err != nil {
 			log.Fatal(err)
 		}

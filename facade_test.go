@@ -1,0 +1,166 @@
+package lighttrader
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestNewMatchesDeprecatedConstructor pins the migration contract: the
+// functional-options constructor builds the same system as the deprecated
+// positional one, byte-identical under the deterministic back-test.
+func TestNewMatchesDeprecatedConstructor(t *testing.T) {
+	trace := smallTrace(t)
+	via, err := New(NewVanillaCNN(),
+		WithAccelerators(2),
+		WithPowerBudget(Limited),
+		WithWorkloadScheduling(),
+		WithDVFSScheduling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := NewLightTrader(NewVanillaCNN(), 2, Limited, SchedulerOptions{
+		WorkloadScheduling: true, DVFSScheduling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Backtest(trace, 20*time.Millisecond, via)
+	b := Backtest(trace, 20*time.Millisecond, old)
+	if a != b {
+		t.Fatalf("option-built system diverged from deprecated constructor:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestBacktestContext covers the context-aware replay: a live context is a
+// no-op, a cancelled one presents nothing, and WithProbe observes every
+// arrival.
+func TestBacktestContext(t *testing.T) {
+	trace := smallTrace(t)
+	sys := func() System {
+		s, err := New(NewVanillaCNN(), WithAccelerators(2), WithWorkloadScheduling())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	live := BacktestContext(context.Background(), trace, 20*time.Millisecond, sys())
+	plain := Backtest(trace, 20*time.Millisecond, sys())
+	if live != plain {
+		t.Fatalf("live context perturbed the replay:\n%+v\n%+v", live, plain)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if m := BacktestContext(ctx, trace, 20*time.Millisecond, sys()); m.Total != 0 {
+		t.Fatalf("cancelled replay presented %d queries", m.Total)
+	}
+	tr := NewTracer()
+	m := BacktestContext(context.Background(), trace, 20*time.Millisecond, sys(), WithProbe(tr))
+	if tr.Arrived() != m.Total {
+		t.Fatalf("probe saw %d arrivals of %d", tr.Arrived(), m.Total)
+	}
+}
+
+// servingFixture builds a two-instrument subscription set and the
+// interleaved shared feed for the serving facade tests.
+func servingFixture(t *testing.T) (func() *MultiPipeline, [][]byte) {
+	t.Helper()
+	type inst struct {
+		sym string
+		id  int32
+		mid int64
+	}
+	insts := []inst{{"ESU6", 1, 450000}, {"NQU6", 2, 1500000}}
+	traces := make([][]Tick, len(insts))
+	for i, in := range insts {
+		cfg := DefaultTraceConfig()
+		cfg.Symbol, cfg.SecurityID, cfg.MidPrice = in.sym, in.id, in.mid
+		traces[i] = GenerateTrace(cfg, 180)
+	}
+	var packets [][]byte
+	for j := range traces[0] {
+		for i := range traces {
+			packets = append(packets, traces[i][j].Packet)
+		}
+	}
+	build := func() *MultiPipeline {
+		mp := NewMultiPipeline()
+		for i, in := range insts {
+			tcfg := DefaultTradingConfig(in.id)
+			tcfg.MinConfidence = 0
+			if err := mp.Add(in.sym, in.id, NewSizedCNN("facade-"+in.sym, 8, 0),
+				CalibrateNormalizer(traces[i]), tcfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mp
+	}
+	return build, packets
+}
+
+// TestPublicServing drives the serving facade end to end: the inline
+// (degenerate serial) configuration and a two-lane fleet with online
+// Algorithm-1 admission replay the same shared feed and agree on every
+// per-symbol order stream and runtime counter.
+func TestPublicServing(t *testing.T) {
+	build, packets := servingFixture(t)
+
+	run := func(opts ...Option) (*Server, *OrderLog) {
+		log := NewOrderLog()
+		srv, err := NewServer(build(), append(opts, WithOrderSink(log.Sink()))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); _ = srv.Run(ctx) }()
+		for i, buf := range packets {
+			if err := srv.Submit(int64(i), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.Drain()
+		cancel()
+		<-done
+		return srv, log
+	}
+
+	inline, inlineLog := run(WithInline())
+	fleet, fleetLog := run(WithAccelerators(2), WithBackpressure(),
+		WithWorkloadScheduling(), WithDeadline(time.Hour))
+
+	for _, srv := range []*Server{inline, fleet} {
+		st := srv.Stats()
+		if st.Submitted != len(packets) || st.Served != st.Submitted || st.Dropped() != 0 {
+			t.Fatalf("lossless replay expected: %+v", st)
+		}
+	}
+	if inline.Lanes() != 1 || !inline.Inline() {
+		t.Fatalf("inline server: lanes=%d inline=%v", inline.Lanes(), inline.Inline())
+	}
+	if fleet.Lanes() != 2 || fleet.Inline() {
+		t.Fatalf("fleet server: lanes=%d inline=%v", fleet.Lanes(), fleet.Inline())
+	}
+	if fleet.Stats().Batches == 0 {
+		t.Fatal("admission enabled but no batches issued")
+	}
+	if inlineLog.Total() == 0 {
+		t.Fatal("no orders generated; parity would be vacuous")
+	}
+	for _, id := range []int32{1, 2} {
+		a, b := inlineLog.Orders(id), fleetLog.Orders(id)
+		if len(a) != len(b) {
+			t.Fatalf("security %d: inline %d orders, fleet %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("security %d order %d diverged: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+		ia, ok1 := inline.Snapshot(id, 0)
+		ib, ok2 := fleet.Snapshot(id, 0)
+		if !ok1 || !ok2 || ia.Bids != ib.Bids || ia.Asks != ib.Asks {
+			t.Fatalf("security %d books diverged at quiesce", id)
+		}
+	}
+}

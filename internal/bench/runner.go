@@ -8,6 +8,7 @@ package bench
 // run and the determinism invariant of internal/sim holds.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -54,7 +55,15 @@ func Experiments(tc TrafficConfig) []Experiment {
 // GOMAXPROCS) and returns results in input order. workers == 1 degenerates
 // to a plain serial loop.
 func RunAll(exps []Experiment, workers int) []Result {
-	return RunMatrix(exps, workers, func(e Experiment) Result {
+	return RunAllContext(context.Background(), exps, workers)
+}
+
+// RunAllContext is RunAll under a context: once ctx is cancelled no new
+// experiment starts; experiments already running finish, so every returned
+// Result is either complete or the zero value (empty Name), never a torn
+// partial.
+func RunAllContext(ctx context.Context, exps []Experiment, workers int) []Result {
+	return RunMatrixContext(ctx, exps, workers, func(e Experiment) Result {
 		start := time.Now()
 		out := e.Run()
 		return Result{Name: e.Name, Output: out, Wall: time.Since(start)}
@@ -67,6 +76,15 @@ func RunAll(exps []Experiment, workers int) []Result {
 // across items; under that contract the results are identical to a serial
 // loop regardless of worker count.
 func RunMatrix[T, R any](items []T, workers int, fn func(T) R) []R {
+	return RunMatrixContext(context.Background(), items, workers, fn)
+}
+
+// RunMatrixContext is RunMatrix under a context. Cancellation stops the
+// presentation of further items — items already handed to a worker run to
+// completion and their slots are filled; items never started keep the zero
+// value of R. The result slice therefore always has len(items) entries in
+// input order and no entry is ever written by a half-finished fn.
+func RunMatrixContext[T, R any](ctx context.Context, items []T, workers int, fn func(T) R) []R {
 	out := make([]R, len(items))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,6 +94,9 @@ func RunMatrix[T, R any](items []T, workers int, fn func(T) R) []R {
 	}
 	if workers <= 1 {
 		for i := range items {
+			if ctx.Err() != nil {
+				break
+			}
 			out[i] = fn(items[i])
 		}
 		return out
@@ -91,8 +112,13 @@ func RunMatrix[T, R any](items []T, workers int, fn func(T) R) []R {
 			}
 		}()
 	}
+feed:
 	for i := range items {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

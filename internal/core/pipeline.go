@@ -53,6 +53,16 @@ func NewPipeline(symbol string, securityID int32, model *nn.Model, norm offload.
 // Trader exposes the trading engine (position, decision log).
 func (p *Pipeline) Trader() *trading.Engine { return p.trader }
 
+// SecurityID returns the instrument this pipeline is subscribed to.
+func (p *Pipeline) SecurityID() int32 { return p.securityID }
+
+// Symbol returns the subscribed instrument's symbol.
+func (p *Pipeline) Symbol() string { return p.symbol }
+
+// Model returns the pipeline's inference model (used to compile latency
+// tables when the serving runtime schedules this subscription).
+func (p *Pipeline) Model() *nn.Model { return p.model }
+
 // Ticks returns how many book-updating events have been processed.
 func (p *Pipeline) Ticks() int { return p.ticks }
 

@@ -230,7 +230,20 @@ func TestMultiPipelineTwoInstruments(t *testing.T) {
 		}
 	}
 	if err := mp.Add("dup", 1, nn.NewSizedCNN("d", 8, 0), offload.Normalizer{}, trading.DefaultConfig(1)); err == nil {
-		t.Fatal("duplicate subscription accepted")
+		t.Fatal("duplicate security ID accepted")
+	}
+	// A fresh security ID must not smuggle in an already-subscribed symbol.
+	if err := mp.Add("ESU6", 3, nn.NewSizedCNN("d2", 8, 0), offload.Normalizer{}, trading.DefaultConfig(3)); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+	if got := mp.Symbols(); len(got) != 2 || got[0] != "ESU6" || got[1] != "NQU6" {
+		t.Fatalf("Symbols() = %v", got)
+	}
+	if got := mp.SecurityIDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("SecurityIDs() = %v", got)
+	}
+	if mp.Len() != 2 || len(mp.Pipelines()) != 2 {
+		t.Fatalf("Len() = %d, Pipelines() = %d", mp.Len(), len(mp.Pipelines()))
 	}
 
 	// Interleaved order flow on both instruments.

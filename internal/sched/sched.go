@@ -101,6 +101,25 @@ func (c *Config) TotalNanos(d cgra.DVFSState, batch int) int64 {
 	return tTrans + tInfer + c.PostProcessNanos
 }
 
+// MinTotalNanos is the fastest achievable batch-1 t_total across the
+// DVFS states Algorithm 1 may use — the floor of the latency table. An
+// online dispatcher uses it as the hold budget: once a queued query's
+// remaining time falls to this floor (plus a worst-case switch stall),
+// waiting for more arrivals to form a larger batch is no longer safe.
+func (c *Config) MinTotalNanos() int64 {
+	min := int64(-1)
+	for _, d := range c.dvfsOptions() {
+		t := c.TotalNanos(d, 1)
+		if min < 0 || t < min {
+			min = t
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
 // BusyPower is the accelerator draw while executing this kernel at d.
 func (c *Config) BusyPower(d cgra.DVFSState) float64 {
 	return c.Spec.Power(d, c.Kernel.Activity)

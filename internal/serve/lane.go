@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"sync"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/core"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// query is one decoded packet queued on a lane with its deadline.
+type query struct {
+	id       int64
+	pkt      sbe.Packet
+	arrival  int64
+	deadline int64
+}
+
+// lane is one worker: a logical accelerator owning a shard of the
+// subscription set. Queue state lives under mu; pipeline state (books,
+// models, risk) lives under procMu so Snapshot and OnExecReport can
+// synchronise with dispatch without stalling enqueues.
+type lane struct {
+	id    int
+	srv   *Server
+	pipes []*core.Pipeline
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []query
+	lastArrival int64
+	// busyNanos accumulates the modelled service time (Σ issued t_total) of
+	// this lane — the per-accelerator makespan input of the throughput model.
+	busyNanos int64
+	// state is the lane's modelled DVFS operating point; meaningless
+	// (zero) without a scheduling config.
+	state    cgra.DVFSState
+	inflight bool
+	closed   bool
+
+	procMu sync.Mutex
+}
+
+func newLane(id int, s *Server) *lane {
+	l := &lane{id: id, srv: s}
+	l.cond = sync.NewCond(&l.mu)
+	if s.cfg.Sched != nil {
+		l.state = startState(s.cfg.Sched)
+	}
+	return l
+}
+
+// startState mirrors core.System: the floor state under DVFS scheduling
+// (idle lanes park low), the static Table III point otherwise.
+func startState(cfg *sched.Config) cgra.DVFSState {
+	if cfg.DVFSScheduling {
+		return cfg.Spec.DVFSTable()[0]
+	}
+	return cfg.StaticDVFS
+}
+
+// enqueue appends a query and wakes the worker. A full queue either blocks
+// the submitter until the lane catches up (backpressure) or evicts the
+// lane's oldest query (stale-tensor management), per Config.Backpressure.
+func (l *lane) enqueue(q query) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if l.srv.cfg.Backpressure && !l.srv.Inline() {
+		for len(l.queue) >= l.srv.cfg.MaxQueue && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+	}
+	if len(l.queue) >= l.srv.cfg.MaxQueue {
+		old := l.queue[0]
+		l.queue = l.queue[1:]
+		l.srv.queued.Add(-1)
+		l.srv.stats.evicted.Add(1)
+		l.srv.probe.query(sim.QueryEvent{
+			TimeNanos: q.arrival, Kind: sim.QueryEvict,
+			Query: simQuery(old), Accel: -1,
+		})
+	}
+	l.queue = append(l.queue, q)
+	if q.arrival > l.lastArrival {
+		l.lastArrival = q.arrival
+	}
+	l.srv.queued.Add(1)
+	l.mu.Unlock()
+	// Broadcast, not Signal: the worker and any Drain caller share the cond.
+	l.cond.Broadcast()
+}
+
+// close wakes the worker for shutdown.
+func (l *lane) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// work is the lane goroutine: take a feasible batch, process it, repeat.
+func (l *lane) work() {
+	for {
+		batch, issue, now, ok := l.take(true)
+		if !ok {
+			return
+		}
+		l.process(batch, issue, now)
+	}
+}
+
+// dispatchAll drains the queue synchronously (inline mode).
+func (l *lane) dispatchAll() {
+	for {
+		batch, issue, now, ok := l.take(false)
+		if !ok {
+			return
+		}
+		l.process(batch, issue, now)
+	}
+}
+
+// now returns the admission clock under l.mu: the configured clock, or the
+// newest accepted arrival (the logical clock that makes trace replays
+// deterministic).
+func (l *lane) now() int64 {
+	if l.srv.cfg.Clock != nil {
+		return l.srv.cfg.Clock()
+	}
+	return l.lastArrival
+}
+
+// take blocks (when wait is true) until it can hand the caller a batch to
+// process, applying Algorithm 1 online: over-deadline and infeasible
+// queries are dropped with per-cause accounting until either a feasible
+// (dvfs, batch) candidate exists or the queue runs dry. Returns ok=false
+// when the lane is closed (worker mode) or the queue is empty (inline).
+func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok bool) {
+	cfg := l.srv.cfg.Sched
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed && wait {
+			// Shutdown abandons the unissued backlog for a prompt stop.
+			return nil, sched.Issue{}, 0, false
+		}
+		for len(l.queue) > 0 {
+			now = l.now()
+			if cfg == nil {
+				// No admission: serve the whole backlog as one batch.
+				batch = append(batch, l.queue...)
+				l.queue = l.queue[:0]
+				l.srv.queued.Add(-int64(len(batch)))
+				issue = sched.Issue{Batch: len(batch), TotalNanos: 0}
+				l.inflight = true
+				return batch, issue, now, true
+			}
+			oldest := l.queue[0]
+			avail := oldest.deadline - now
+			var verdict sched.Verdict
+			issue, verdict = sched.PickIssueExplained(
+				cfg, len(l.queue), avail, l.srv.power.availFor(l.id), l.state)
+			if verdict == sched.VerdictIssued {
+				batch = append(batch, l.queue[:issue.Batch]...)
+				l.queue = l.queue[issue.Batch:]
+				l.srv.queued.Add(-int64(len(batch)))
+				if l.state != issue.DVFS {
+					l.srv.probe.dvfs(sim.DVFSEvent{
+						TimeNanos: now, Accel: l.id, Reason: sim.DVFSAtIssue,
+						FromGHz: l.state.FreqGHz, ToGHz: issue.DVFS.FreqGHz,
+					})
+				}
+				l.state = issue.DVFS
+				l.srv.power.setBusy(l.id, issue.DVFS)
+				l.inflight = true
+				return batch, issue, now, true
+			}
+			// No feasible candidate for the oldest query: drop it, attribute
+			// the cause, and retry with the next.
+			l.queue = l.queue[1:]
+			l.srv.queued.Add(-1)
+			switch verdict {
+			case sched.VerdictPowerInfeasible:
+				l.srv.stats.deferredPower.Add(1)
+			default:
+				l.srv.stats.deferredDeadline.Add(1)
+			}
+			l.srv.probe.query(sim.QueryEvent{
+				TimeNanos: now, Kind: sim.QueryDefer, Query: simQuery(oldest),
+				Accel: -1, Cause: deferCause(verdict),
+			})
+		}
+		if l.closed || !wait {
+			return nil, sched.Issue{}, 0, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// process runs one issued batch through the lane's pipelines and accounts
+// the completions. The modelled completion time is now + t_total from the
+// latency tables; under a wall clock, completion is re-checked against the
+// deadline so real-time overruns surface as late responses.
+func (l *lane) process(batch []query, issue sched.Issue, now int64) {
+	done := now + issue.TotalNanos
+	if l.srv.probe.active() {
+		for _, q := range batch {
+			l.srv.probe.query(sim.QueryEvent{
+				TimeNanos: now, Kind: sim.QueryIssue, Query: simQuery(q),
+				Accel: l.id, Batch: len(batch), DoneNanos: done,
+			})
+		}
+	}
+
+	l.procMu.Lock()
+	for _, q := range batch {
+		for _, p := range l.pipes {
+			reqs, err := p.OnDecodedPacket(q.pkt)
+			if err != nil {
+				l.srv.stats.errors.Add(1)
+				continue
+			}
+			l.srv.deliver(p.SecurityID(), reqs)
+		}
+	}
+	l.procMu.Unlock()
+
+	if l.srv.cfg.Clock != nil {
+		done = l.srv.cfg.Clock()
+	}
+	for _, q := range batch {
+		if done > q.deadline {
+			l.srv.stats.late.Add(1)
+		} else {
+			l.srv.stats.served.Add(1)
+		}
+		l.srv.probe.query(sim.QueryEvent{
+			TimeNanos: done, Kind: sim.QueryComplete, Query: simQuery(q),
+			Accel: l.id, Batch: len(batch), DoneNanos: done,
+		})
+	}
+	l.srv.stats.batches.Add(1)
+	l.srv.stats.batchSum.Add(int64(len(batch)))
+	l.srv.power.setIdle(l.id, l.state)
+	l.srv.sample(done)
+
+	l.mu.Lock()
+	l.busyNanos += issue.TotalNanos
+	l.inflight = false
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// drain blocks until the lane's queue is empty and no batch is in flight.
+func (l *lane) drain() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for (len(l.queue) > 0 || l.inflight) && !l.closed {
+		l.cond.Wait()
+	}
+}
+
+// deferCause maps Algorithm 1's verdict onto the probe event taxonomy.
+func deferCause(v sched.Verdict) sim.DeferCause {
+	switch v {
+	case sched.VerdictDeadlineInfeasible:
+		return sim.CauseDeadline
+	case sched.VerdictPowerInfeasible:
+		return sim.CausePower
+	default:
+		return sim.CauseNone
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// powerMeter tracks every lane's modelled draw against the shared
+// accelerator power budget — the online analogue of the simulator's
+// powerAvailExcluding. Without a scheduling config the meter is inert.
+type powerMeter struct {
+	cfg *sched.Config
+
+	mu   sync.Mutex
+	draw []float64
+	busy []bool
+}
+
+func newPowerMeter(cfg *sched.Config, lanes int) *powerMeter {
+	m := &powerMeter{cfg: cfg, draw: make([]float64, lanes), busy: make([]bool, lanes)}
+	if cfg != nil {
+		idle := cfg.Spec.IdlePower(startState(cfg))
+		for i := range m.draw {
+			m.draw[i] = idle
+		}
+	}
+	return m
+}
+
+// availFor returns the unallocated budget with lane id's own draw
+// excluded (it is about to change state).
+func (m *powerMeter) availFor(id int) float64 {
+	if m.cfg == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var used float64
+	for i, w := range m.draw {
+		if i != id {
+			used += w
+		}
+	}
+	return m.cfg.PowerBudgetWatts - used
+}
+
+// setBusy charges lane id with the busy draw of state d.
+func (m *powerMeter) setBusy(id int, d cgra.DVFSState) {
+	if m.cfg == nil {
+		return
+	}
+	m.mu.Lock()
+	m.draw[id] = m.cfg.BusyPower(d)
+	m.busy[id] = true
+	m.mu.Unlock()
+}
+
+// setIdle returns lane id to the idle draw of state d.
+func (m *powerMeter) setIdle(id int, d cgra.DVFSState) {
+	if m.cfg == nil {
+		return
+	}
+	m.mu.Lock()
+	m.draw[id] = m.cfg.Spec.IdlePower(d)
+	m.busy[id] = false
+	m.mu.Unlock()
+}
+
+// load returns the busy-lane count and total instantaneous draw.
+func (m *powerMeter) load() (busy int, watts float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, w := range m.draw {
+		watts += w
+		if m.busy[i] {
+			busy++
+		}
+	}
+	return busy, watts
+}
+
+// sample emits a load observation to the probe after a dispatch, mirroring
+// the simulator's post-scheduling samples.
+func (s *Server) sample(now int64) {
+	if !s.probe.active() {
+		return
+	}
+	busy, watts := s.power.load()
+	s.probe.sampleEv(sim.Sample{
+		TimeNanos:  now,
+		QueueDepth: int(s.queued.Load()),
+		BusyAccels: busy,
+		PowerWatts: watts,
+	})
+}
+
+// stats is the runtime's internal counter set (atomics: lanes write
+// concurrently).
+type stats struct {
+	submitted        atomic.Int64
+	served           atomic.Int64
+	late             atomic.Int64
+	evicted          atomic.Int64
+	deferredDeadline atomic.Int64
+	deferredPower    atomic.Int64
+	errors           atomic.Int64
+	orders           atomic.Int64
+	batches          atomic.Int64
+	batchSum         atomic.Int64
+}
+
+// Stats is a point-in-time copy of the runtime counters with the same
+// miss-attribution taxonomy as the back-test simulator: every submitted
+// query ends up served, late, evicted (bounded queue), or deferred
+// (Algorithm 1 deadline- or power-infeasible).
+type Stats struct {
+	// Submitted counts queries accepted by SubmitPacket (one per packet
+	// per lane the packet routed to).
+	Submitted int
+	// Served counts queries completed within their deadline.
+	Served int
+	// Late counts queries completed after their deadline.
+	Late int
+	// EvictedQueueFull counts queries pushed out of a full lane queue by a
+	// newer arrival (stale-tensor management).
+	EvictedQueueFull int
+	// DeferredDeadline counts Algorithm-1 drops where no (dvfs, batch)
+	// candidate could meet the oldest query's deadline.
+	DeferredDeadline int
+	// DeferredPower counts Algorithm-1 drops where a deadline-feasible
+	// candidate existed but the shared power budget blocked it.
+	DeferredPower int
+	// Errors counts pipeline failures while serving (the query still
+	// counts as served or late).
+	Errors int
+	// Orders counts order requests delivered to the sink.
+	Orders int
+	// Batches counts issued batches; MeanBatch is the average issue size.
+	Batches   int
+	MeanBatch float64
+	// ResponseRate is Served / Submitted (0 when nothing was submitted).
+	ResponseRate float64
+}
+
+// Dropped returns the total queries dropped without being served.
+func (s Stats) Dropped() int {
+	return s.EvictedQueueFull + s.DeferredDeadline + s.DeferredPower
+}
+
+func (c *stats) snapshot() Stats {
+	s := Stats{
+		Submitted:        int(c.submitted.Load()),
+		Served:           int(c.served.Load()),
+		Late:             int(c.late.Load()),
+		EvictedQueueFull: int(c.evicted.Load()),
+		DeferredDeadline: int(c.deferredDeadline.Load()),
+		DeferredPower:    int(c.deferredPower.Load()),
+		Errors:           int(c.errors.Load()),
+		Orders:           int(c.orders.Load()),
+		Batches:          int(c.batches.Load()),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(c.batchSum.Load()) / float64(s.Batches)
+	}
+	if s.Submitted > 0 {
+		s.ResponseRate = float64(s.Served) / float64(s.Submitted)
+	}
+	return s
+}
+
+// lockedProbe serialises probe callbacks from concurrent lanes: the
+// sim.Probe contract promises single-goroutine delivery, which the
+// runtime restores with a mutex. Events stay ordered per lane but may
+// interleave across lanes out of timestamp order.
+type lockedProbe struct {
+	mu sync.Mutex
+	p  sim.Probe
+}
+
+func newLockedProbe(p sim.Probe) *lockedProbe { return &lockedProbe{p: p} }
+
+func (lp *lockedProbe) active() bool { return lp.p != nil }
+
+func (lp *lockedProbe) query(e sim.QueryEvent) {
+	if lp.p == nil {
+		return
+	}
+	lp.mu.Lock()
+	lp.p.OnQueryEvent(e)
+	lp.mu.Unlock()
+}
+
+func (lp *lockedProbe) dvfs(e sim.DVFSEvent) {
+	if lp.p == nil {
+		return
+	}
+	lp.mu.Lock()
+	lp.p.OnDVFSEvent(e)
+	lp.mu.Unlock()
+}
+
+func (lp *lockedProbe) sampleEv(e sim.Sample) {
+	if lp.p == nil {
+		return
+	}
+	lp.mu.Lock()
+	lp.p.OnSample(e)
+	lp.mu.Unlock()
+}
+
+// OrderLog is a thread-safe OrderSink that records per-instrument order
+// streams in delivery order — the quiesce-time comparison artefact the
+// parity tests and examples read back.
+type OrderLog struct {
+	mu    sync.Mutex
+	bySec map[int32][]exchange.Request
+	total int
+}
+
+// NewOrderLog returns an empty log.
+func NewOrderLog() *OrderLog { return &OrderLog{bySec: make(map[int32][]exchange.Request)} }
+
+// Sink returns the OrderSink feeding this log.
+func (ol *OrderLog) Sink() OrderSink {
+	return func(securityID int32, reqs []exchange.Request) {
+		ol.mu.Lock()
+		ol.bySec[securityID] = append(ol.bySec[securityID], reqs...)
+		ol.total += len(reqs)
+		ol.mu.Unlock()
+	}
+}
+
+// Orders returns one instrument's recorded stream.
+func (ol *OrderLog) Orders(securityID int32) []exchange.Request {
+	ol.mu.Lock()
+	defer ol.mu.Unlock()
+	out := make([]exchange.Request, len(ol.bySec[securityID]))
+	copy(out, ol.bySec[securityID])
+	return out
+}
+
+// Total returns the number of recorded orders across instruments.
+func (ol *OrderLog) Total() int {
+	ol.mu.Lock()
+	defer ol.mu.Unlock()
+	return ol.total
+}

@@ -1,0 +1,404 @@
+// Package serve is the concurrent multi-symbol serving runtime: the online
+// counterpart of the back-test simulator's proactive scheduler (paper
+// §III-D). A Server shards the subscriptions of a core.MultiPipeline across
+// worker lanes — one logical lane per modelled accelerator — and applies
+// Algorithm 1's (batch size, deadline-feasibility) decision to live
+// queries: decoded packets queue per lane with arrival-time deadlines, the
+// dispatcher picks the PPW-best feasible batch using the sched latency
+// tables against a shared power budget, infeasible queries are dropped with
+// per-cause accounting, and bounded queues evict the oldest entry (the
+// stale-tensor policy of §III-A) instead of growing without bound.
+//
+// Determinism: each pipeline is owned by exactly one lane and each lane
+// drains its queue in FIFO order, so every instrument sees its packets in
+// arrival order regardless of lane count — the per-symbol book and order
+// stream are identical to the serial core.MultiPipeline for any N. A
+// Config with Lanes == 0 runs the same admission and dispatch path inline
+// on the caller's goroutine: the serial path is the degenerate single-lane
+// configuration of the runtime, not a separate code path.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// OrderSink receives the order requests one instrument generated from one
+// packet. Sinks are called from lane goroutines (or the caller's goroutine
+// in inline mode) and must be safe for concurrent use; calls for the same
+// instrument are always delivered in packet order.
+type OrderSink func(securityID int32, reqs []exchange.Request)
+
+// Config configures a Server.
+type Config struct {
+	// Lanes is the worker-lane count, one logical lane per modelled
+	// accelerator. 0 runs the runtime inline on the caller's goroutine
+	// (the degenerate serial configuration); negative is an error.
+	Lanes int
+	// MaxQueue bounds each lane's query queue; an arrival beyond it evicts
+	// the lane's oldest query (stale-tensor management). 0 means 64.
+	MaxQueue int
+	// Backpressure switches the full-queue policy from eviction to blocking:
+	// SubmitPacket stalls until the owning lane has room, so a replay is
+	// lossless at the cost of coupling the submitter to lane throughput.
+	// Ignored in inline mode (the queue drains within the submit call).
+	Backpressure bool
+	// Sched, when non-nil, enables online Algorithm-1 admission: each lane
+	// dispatch picks the PPW-best feasible (dvfs, batch) candidate from the
+	// latency tables and drops queries no candidate can serve in time.
+	// When nil every query is served (batch = whole backlog, no deadlines).
+	Sched *sched.Config
+	// TAvailNanos is the deadline budget granted to queries submitted
+	// without an explicit deadline. 0 means no deadline (infinite budget).
+	TAvailNanos int64
+	// Clock supplies "now" for admission decisions. nil selects the
+	// arrival-driven logical clock: a lane's now is the newest arrival
+	// timestamp it has accepted, which makes runs over recorded traces
+	// deterministic and independent of wall time.
+	Clock func() int64
+	// Probe observes the runtime's query lifecycle, queue depth and power
+	// samples with the same event taxonomy as the back-test simulator.
+	// Events from concurrent lanes are serialised but may interleave
+	// across lanes out of timestamp order.
+	Probe sim.Probe
+	// OnOrders receives generated orders. nil discards them (Stats still
+	// counts them).
+	OnOrders OrderSink
+}
+
+// Server is the serving runtime. Build with New, start lanes with Run (or
+// use inline mode), feed it decoded packets with SubmitPacket, and read
+// per-cause accounting from Stats.
+type Server struct {
+	cfg   Config
+	lanes []*lane
+	bySec map[int32]*lane // securityID → owning lane
+	power *powerMeter
+	probe *lockedProbe
+	stats *stats
+
+	// inlineMu serialises inline-mode submissions end to end; tee is only
+	// read and written under it (and is always nil on concurrent servers).
+	inlineMu sync.Mutex
+	tee      OrderSink
+
+	runMu   sync.Mutex
+	running bool
+	done    sync.WaitGroup
+
+	nextID atomic.Int64
+	queued atomic.Int64 // total queries queued across lanes (probe samples)
+}
+
+// New builds a Server over mp's subscriptions. Pipelines are sharded
+// round-robin in subscription order, so lane ownership is deterministic:
+// subscription i lives on lane i mod Lanes. The Server takes ownership of
+// the pipelines — after New, access their state only through Snapshot,
+// OnExecReport and the order sink.
+func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
+	if mp == nil || mp.Len() == 0 {
+		return nil, errors.New("serve: no subscriptions")
+	}
+	if cfg.Lanes < 0 {
+		return nil, fmt.Errorf("serve: negative lane count %d", cfg.Lanes)
+	}
+	if cfg.Sched != nil && cfg.Sched.Kernel == nil {
+		return nil, errors.New("serve: scheduling config carries no kernel")
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	n := cfg.Lanes
+	if n == 0 {
+		n = 1 // inline mode still runs one logical lane
+	}
+	pipes := mp.Pipelines()
+	if n > len(pipes) {
+		n = len(pipes)
+	}
+	s := &Server{
+		cfg:   cfg,
+		bySec: make(map[int32]*lane, len(pipes)),
+		power: newPowerMeter(cfg.Sched, n),
+		probe: newLockedProbe(cfg.Probe),
+		stats: &stats{},
+	}
+	s.lanes = make([]*lane, n)
+	for i := range s.lanes {
+		s.lanes[i] = newLane(i, s)
+	}
+	for i, p := range pipes {
+		l := s.lanes[i%n]
+		l.pipes = append(l.pipes, p)
+		s.bySec[p.SecurityID()] = l
+	}
+	return s, nil
+}
+
+// Lanes returns the effective lane count.
+func (s *Server) Lanes() int { return len(s.lanes) }
+
+// Inline reports whether the runtime dispatches on the caller's goroutine.
+func (s *Server) Inline() bool { return s.cfg.Lanes == 0 }
+
+// Run starts the lane workers and blocks until ctx is cancelled, then
+// stops the lanes and waits for their in-flight batches to finish
+// (queued-but-unissued queries are abandoned; Stats still counts them as
+// submitted). A Server runs at most once: after Run returns it stays
+// stopped. In inline mode there are no workers and Run just blocks until
+// cancellation. Run returns ctx.Err().
+func (s *Server) Run(ctx context.Context) error {
+	s.runMu.Lock()
+	if s.running {
+		s.runMu.Unlock()
+		return errors.New("serve: already running")
+	}
+	s.running = true
+	if !s.Inline() {
+		for _, l := range s.lanes {
+			s.done.Add(1)
+			go func(l *lane) {
+				defer s.done.Done()
+				l.work()
+			}(l)
+		}
+	}
+	s.runMu.Unlock()
+
+	<-ctx.Done()
+
+	for _, l := range s.lanes {
+		l.close()
+	}
+	s.done.Wait()
+	return ctx.Err()
+}
+
+// Submit parses one datagram and enqueues it with the given arrival time.
+func (s *Server) Submit(arrivalNanos int64, buf []byte) error {
+	pkt, err := sbe.DecodePacket(buf)
+	if err != nil {
+		return fmt.Errorf("serve: packet parse: %w", err)
+	}
+	s.SubmitPacket(arrivalNanos, pkt)
+	return nil
+}
+
+// SubmitPacket enqueues a decoded packet for every lane owning an
+// instrument the packet touches. The deadline is arrival + TAvailNanos
+// (or unbounded when TAvailNanos is 0). In inline mode the packet is
+// dispatched synchronously before SubmitPacket returns.
+func (s *Server) SubmitPacket(arrivalNanos int64, pkt sbe.Packet) {
+	if s.Inline() {
+		s.inlineMu.Lock()
+		defer s.inlineMu.Unlock()
+	}
+	s.submit(arrivalNanos, pkt)
+}
+
+// submit routes and enqueues one packet. Inline callers hold inlineMu.
+func (s *Server) submit(arrivalNanos int64, pkt sbe.Packet) {
+	deadline := int64(1<<63 - 1)
+	if s.cfg.TAvailNanos > 0 {
+		deadline = arrivalNanos + s.cfg.TAvailNanos
+	}
+	for _, l := range s.route(pkt) {
+		q := query{
+			id:       s.nextID.Add(1) - 1,
+			pkt:      pkt,
+			arrival:  arrivalNanos,
+			deadline: deadline,
+		}
+		s.stats.submitted.Add(1)
+		s.probe.query(sim.QueryEvent{
+			TimeNanos: arrivalNanos, Kind: sim.QueryArrive,
+			Query: simQuery(q), Accel: -1,
+		})
+		l.enqueue(q)
+		if s.Inline() {
+			l.dispatchAll()
+		}
+	}
+}
+
+// OnDecodedPacket makes an inline Server a core.PacketHandler: the packet
+// is dispatched synchronously and the orders it generated are returned,
+// exactly like the serial MultiPipeline (any configured OnOrders sink
+// still sees them too). The arrival time is taken from Clock (or the
+// packet's first transact time under the logical clock). Calling it on a
+// concurrent (Lanes > 0) Server returns an error: orders flow through the
+// sink there.
+func (s *Server) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
+	if !s.Inline() {
+		return nil, errors.New("serve: OnDecodedPacket requires inline mode")
+	}
+	now := s.clockNow(pkt)
+	s.inlineMu.Lock()
+	defer s.inlineMu.Unlock()
+	var orders []exchange.Request
+	s.tee = func(sec int32, reqs []exchange.Request) {
+		orders = append(orders, reqs...)
+	}
+	defer func() { s.tee = nil }()
+	s.submit(now, pkt)
+	return orders, nil
+}
+
+// deliver hands generated orders to the tee (inline mode) and the
+// configured sink, counting them either way.
+func (s *Server) deliver(securityID int32, reqs []exchange.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	s.stats.orders.Add(int64(len(reqs)))
+	if s.tee != nil {
+		s.tee(securityID, reqs)
+	}
+	if s.cfg.OnOrders != nil {
+		s.cfg.OnOrders(securityID, reqs)
+	}
+}
+
+// clockNow returns the submission timestamp for OnDecodedPacket: the
+// configured clock, or the packet's first transact time (falling back to 0)
+// under the logical clock.
+func (s *Server) clockNow(pkt sbe.Packet) int64 {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	for _, msg := range pkt.Messages {
+		if msg.Incremental != nil {
+			return int64(msg.Incremental.TransactTime)
+		}
+	}
+	return 0
+}
+
+// route returns the lanes owning instruments this packet touches. Entries
+// with SecurityID 0 are wildcards (every subscription applies them), so
+// such packets go to every lane.
+func (s *Server) route(pkt sbe.Packet) []*lane {
+	seen := make(map[*lane]bool, 2)
+	var out []*lane
+	add := func(sec int32) bool {
+		if sec == 0 {
+			return true // wildcard: all lanes
+		}
+		if l, ok := s.bySec[sec]; ok && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+		return false
+	}
+	for _, msg := range pkt.Messages {
+		switch {
+		case msg.Incremental != nil:
+			for _, e := range msg.Incremental.Entries {
+				if add(e.SecurityID) {
+					return s.lanes
+				}
+			}
+		case msg.Trade != nil:
+			if add(msg.Trade.SecurityID) {
+				return s.lanes
+			}
+		case msg.Snapshot != nil:
+			if add(msg.Snapshot.SecurityID) {
+				return s.lanes
+			}
+		}
+	}
+	return out
+}
+
+// Drain blocks until every lane's queue is empty and no batch is in
+// flight, then returns. Combined with the logical clock it gives tests a
+// quiesce point: after Drain, books, order logs and stats are stable.
+// Inline mode is always drained.
+func (s *Server) Drain() {
+	for _, l := range s.lanes {
+		l.drain()
+	}
+}
+
+// Snapshot returns the current book of one instrument, synchronised with
+// the owning lane's dispatch (safe to call concurrently with serving).
+func (s *Server) Snapshot(securityID int32, timeNanos int64) (lob.Snapshot, bool) {
+	l, ok := s.bySec[securityID]
+	if !ok {
+		return lob.Snapshot{}, false
+	}
+	l.procMu.Lock()
+	defer l.procMu.Unlock()
+	for _, p := range l.pipes {
+		if p.SecurityID() == securityID {
+			return p.Snapshot(timeNanos), true
+		}
+	}
+	return lob.Snapshot{}, false
+}
+
+// Inferences returns one instrument's forward-pass count (synchronised).
+func (s *Server) Inferences(securityID int32) int {
+	l, ok := s.bySec[securityID]
+	if !ok {
+		return 0
+	}
+	l.procMu.Lock()
+	defer l.procMu.Unlock()
+	for _, p := range l.pipes {
+		if p.SecurityID() == securityID {
+			return p.Inferences()
+		}
+	}
+	return 0
+}
+
+// OnExecReport routes an execution report to the owning instrument,
+// synchronised with the owning lane's dispatch.
+func (s *Server) OnExecReport(rep exchange.ExecReport) {
+	l, ok := s.bySec[rep.SecurityID]
+	if !ok {
+		return
+	}
+	l.procMu.Lock()
+	defer l.procMu.Unlock()
+	for _, p := range l.pipes {
+		if p.SecurityID() == rep.SecurityID {
+			p.OnExecReport(rep)
+			return
+		}
+	}
+}
+
+// Stats returns a consistent copy of the runtime counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// ModelledBusyNanos returns each lane's accumulated modelled service time
+// (Σ t_total of issued batches, per the sched latency tables). The maximum
+// entry is the modelled makespan of the replay; the modelled serving
+// throughput is queries served / makespan. Zero without a scheduling config.
+func (s *Server) ModelledBusyNanos() []int64 {
+	out := make([]int64, len(s.lanes))
+	for i, l := range s.lanes {
+		l.mu.Lock()
+		out[i] = l.busyNanos
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// simQuery maps a runtime query onto the probe event taxonomy.
+func simQuery(q query) sim.Query {
+	return sim.Query{ID: q.id, ArrivalNanos: q.arrival, DeadlineNanos: q.deadline}
+}

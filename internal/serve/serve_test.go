@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/sim"
+	"lighttrader/internal/trading"
+)
+
+// buildMarket lists one security per symbol on a fresh matching engine,
+// submits events interleaved order flow per instrument, and returns the
+// published packet stream (the shared feed every runtime under test replays).
+func buildMarket(t *testing.T, syms []string, events int) [][]byte {
+	t.Helper()
+	var clock int64
+	var packets [][]byte
+	eng := exchange.New(func() int64 { clock++; return clock }, func(buf []byte) {
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		packets = append(packets, cp)
+	})
+	for i, sym := range syms {
+		eng.ListSecurity(int32(i+1), sym)
+	}
+	id := uint64(100)
+	for i := 0; i < events; i++ {
+		for s := range syms {
+			sec := int32(s + 1)
+			id++
+			eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: sec, ClOrdID: id,
+				Side: lob.Side(i % 2), Price: int64(100000*int(sec) + i%5 - 2 + 10*(i%2)), Qty: 3})
+		}
+	}
+	return packets
+}
+
+// buildMulti subscribes every symbol with an identically-seeded model so
+// independently built runtimes are weight-for-weight comparable.
+func buildMulti(t *testing.T, syms []string) *core.MultiPipeline {
+	t.Helper()
+	mp := core.NewMultiPipeline()
+	for i, sym := range syms {
+		sec := int32(i + 1)
+		tcfg := trading.DefaultConfig(sec)
+		tcfg.MinConfidence = 0 // act on every directional signal
+		if err := mp.Add(sym, sec, nn.NewSizedCNN("tiny-"+sym, 8, 0),
+			offload.Normalizer{}, tcfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mp
+}
+
+// serialRun replays the packets through the serial MultiPipeline and returns
+// per-security order streams and quiesce-time books.
+func serialRun(t *testing.T, syms []string, packets [][]byte) (map[int32][]exchange.Request, map[int32]lob.Snapshot, map[int32]int) {
+	t.Helper()
+	mp := buildMulti(t, syms)
+	orders := make(map[int32][]exchange.Request)
+	for _, buf := range packets {
+		reqs, err := mp.OnPacket(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reqs {
+			orders[r.SecurityID] = append(orders[r.SecurityID], r)
+		}
+	}
+	books := make(map[int32]lob.Snapshot)
+	infs := make(map[int32]int)
+	for _, p := range mp.Pipelines() {
+		books[p.SecurityID()] = p.Snapshot(0)
+		infs[p.SecurityID()] = p.Inferences()
+	}
+	return orders, books, infs
+}
+
+// runServer feeds the packet stream to a fresh Server (started when lanes >
+// 0), drains, stops, and returns it with its order log.
+func runServer(t *testing.T, syms []string, packets [][]byte, cfg Config) (*Server, *OrderLog) {
+	t.Helper()
+	log := NewOrderLog()
+	cfg.OnOrders = log.Sink()
+	srv, err := New(buildMulti(t, syms), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Run(ctx); err != context.Canceled {
+			t.Errorf("Run = %v, want context.Canceled", err)
+		}
+	}()
+	for i, buf := range packets {
+		if err := srv.Submit(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Drain()
+	cancel()
+	wg.Wait()
+	return srv, log
+}
+
+// TestServeParityAcrossLanes is the determinism-at-quiesce contract: K
+// instruments over one shared feed produce identical per-symbol books,
+// inference counts and order streams whether run through the serial
+// MultiPipeline or the runtime at any lane count, with and without online
+// Algorithm-1 admission.
+func TestServeParityAcrossLanes(t *testing.T) {
+	syms := []string{"ESU6", "NQU6", "YMU6", "RTYU6"}
+	packets := buildMarket(t, syms, nn.Window+40)
+	wantOrders, wantBooks, wantInfs := serialRun(t, syms, packets)
+	var total int
+	for _, reqs := range wantOrders {
+		total += len(reqs)
+	}
+	if total == 0 {
+		t.Fatal("serial baseline generated no orders; parity would be vacuous")
+	}
+
+	syscfg, err := core.Configure(nn.NewSizedCNN("sched-ref", 8, 0), len(syms),
+		core.Sufficient, core.Options{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"inline", Config{Lanes: 0}},
+		{"lanes=1", Config{Lanes: 1, Backpressure: true}},
+		{"lanes=2", Config{Lanes: 2, Backpressure: true}},
+		{"lanes=4", Config{Lanes: 4, Backpressure: true}},
+		{"lanes=2+sched", Config{Lanes: 2, Backpressure: true, Sched: &syscfg.Sched, TAvailNanos: 1 << 40}},
+		{"lanes=4+sched", Config{Lanes: 4, Backpressure: true, Sched: &syscfg.Sched, TAvailNanos: 1 << 40}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			srv, log := runServer(t, syms, packets, c.cfg)
+			st := srv.Stats()
+			if st.Submitted != len(packets) {
+				t.Fatalf("Submitted = %d, want %d", st.Submitted, len(packets))
+			}
+			if st.Served != st.Submitted || st.Dropped() != 0 || st.Late != 0 {
+				t.Fatalf("not every query served: %+v", st)
+			}
+			if st.ResponseRate != 1 {
+				t.Fatalf("response rate = %v", st.ResponseRate)
+			}
+			if st.Errors != 0 {
+				t.Fatalf("pipeline errors: %d", st.Errors)
+			}
+			if c.cfg.Sched != nil && (st.Batches == 0 || st.MeanBatch < 1) {
+				t.Fatalf("admission ran but batch stats empty: %+v", st)
+			}
+			if st.Orders != log.Total() {
+				t.Fatalf("Stats.Orders = %d, log holds %d", st.Orders, log.Total())
+			}
+			for i := range syms {
+				sec := int32(i + 1)
+				got, ok := srv.Snapshot(sec, 0)
+				if !ok {
+					t.Fatalf("no snapshot for security %d", sec)
+				}
+				want := wantBooks[sec]
+				if got.Bids != want.Bids || got.Asks != want.Asks {
+					t.Fatalf("security %d book diverged from serial:\nserial %+v\nserve  %+v",
+						sec, want, got)
+				}
+				if n := srv.Inferences(sec); n != wantInfs[sec] {
+					t.Fatalf("security %d inferences = %d, serial ran %d", sec, n, wantInfs[sec])
+				}
+				if !reflect.DeepEqual(log.Orders(sec), append([]exchange.Request{}, wantOrders[sec]...)) {
+					t.Fatalf("security %d order stream diverged from serial:\nserial %+v\nserve  %+v",
+						sec, wantOrders[sec], log.Orders(sec))
+				}
+			}
+		})
+	}
+}
+
+// TestServeInlineIsPacketHandler checks the degenerate configuration: an
+// inline Server fronted as a core.PacketHandler returns the same synchronous
+// per-packet orders as the serial MultiPipeline.
+func TestServeInlineIsPacketHandler(t *testing.T) {
+	syms := []string{"ESU6", "NQU6"}
+	packets := buildMarket(t, syms, nn.Window+30)
+
+	serial := buildMulti(t, syms)
+	srv, err := New(buildMulti(t, syms), Config{Lanes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handler core.PacketHandler = srv // compile-time interface check
+	for _, buf := range packets {
+		pkt, err := sbe.DecodePacket(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := serial.OnDecodedPacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := handler.OnDecodedPacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("inline orders diverged:\nserial %+v\nserve  %+v", want, got)
+		}
+	}
+	if st := srv.Stats(); st.Served != st.Submitted || st.Submitted != len(packets) {
+		t.Fatalf("inline stats inconsistent: %+v", st)
+	}
+
+	// A concurrent server refuses the synchronous entry point.
+	conc, err := New(buildMulti(t, syms), Config{Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, _ := sbe.DecodePacket(packets[0])
+	if _, err := conc.OnDecodedPacket(pkt); err == nil {
+		t.Fatal("concurrent server accepted OnDecodedPacket")
+	}
+}
+
+// countProbe tallies runtime probe events (lockedProbe serialises delivery).
+type countProbe struct {
+	arrive, issue, complete, evict, deferred, samples int
+	causes                                            map[sim.DeferCause]int
+}
+
+func (c *countProbe) OnQueryEvent(e sim.QueryEvent) {
+	switch e.Kind {
+	case sim.QueryArrive:
+		c.arrive++
+	case sim.QueryIssue:
+		c.issue++
+	case sim.QueryComplete:
+		c.complete++
+	case sim.QueryEvict:
+		c.evict++
+	case sim.QueryDefer:
+		c.deferred++
+		if c.causes == nil {
+			c.causes = make(map[sim.DeferCause]int)
+		}
+		c.causes[e.Cause]++
+	}
+}
+func (c *countProbe) OnDVFSEvent(sim.DVFSEvent) {}
+func (c *countProbe) OnSample(sim.Sample)       { c.samples++ }
+
+// TestServeAdmissionDropsDeadline forces every query deadline-infeasible: a
+// 1 ns budget is below the latency-table floor, so online Algorithm 1 must
+// drop everything with deadline attribution and matching probe events.
+func TestServeAdmissionDropsDeadline(t *testing.T) {
+	syms := []string{"ESU6", "NQU6"}
+	packets := buildMarket(t, syms, 40)
+	syscfg, err := core.Configure(nn.NewSizedCNN("sched-dl", 8, 0), 1,
+		core.Sufficient, core.Options{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syscfg.Sched.MinTotalNanos() <= 1 {
+		t.Fatal("latency floor too low for the test premise")
+	}
+	probe := &countProbe{}
+	srv, err := New(buildMulti(t, syms), Config{Sched: &syscfg.Sched, TAvailNanos: 1, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, buf := range packets {
+		if err := srv.Submit(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Submitted != len(packets) || st.DeferredDeadline != len(packets) {
+		t.Fatalf("expected every query deadline-dropped: %+v", st)
+	}
+	if st.Served != 0 || st.DeferredPower != 0 || st.ResponseRate != 0 {
+		t.Fatalf("stats leak: %+v", st)
+	}
+	if probe.arrive != len(packets) || probe.deferred != len(packets) ||
+		probe.causes[sim.CauseDeadline] != len(packets) {
+		t.Fatalf("probe disagreed: %+v", probe)
+	}
+	if probe.complete != 0 || probe.issue != 0 {
+		t.Fatalf("dropped queries completed: %+v", probe)
+	}
+}
+
+// TestServeAdmissionDropsPower zeroes the shared budget: deadline-feasible
+// candidates exist (no deadline at all) but power blocks every issue.
+func TestServeAdmissionDropsPower(t *testing.T) {
+	syms := []string{"ESU6"}
+	packets := buildMarket(t, syms, 40)
+	syscfg, err := core.Configure(nn.NewSizedCNN("sched-pw", 8, 0), 1,
+		core.Sufficient, core.Options{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := syscfg.Sched
+	starved.PowerBudgetWatts = 0
+	probe := &countProbe{}
+	srv, err := New(buildMulti(t, syms), Config{Sched: &starved, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, buf := range packets {
+		if err := srv.Submit(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.DeferredPower != st.Submitted || st.Submitted == 0 {
+		t.Fatalf("expected every query power-dropped: %+v", st)
+	}
+	if probe.causes[sim.CausePower] != st.Submitted {
+		t.Fatalf("probe causes = %v", probe.causes)
+	}
+}
+
+// TestServeBoundedQueueEvicts fills an unserviced lane past MaxQueue: the
+// oldest query is pushed out (stale-tensor management) and accounted.
+func TestServeBoundedQueueEvicts(t *testing.T) {
+	syms := []string{"ESU6"}
+	packets := buildMarket(t, syms, 5)
+	probe := &countProbe{}
+	// Lanes: 1 without Run: arrivals queue but nothing dispatches.
+	srv, err := New(buildMulti(t, syms), Config{Lanes: 1, MaxQueue: 2, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, buf := range packets[:3] {
+		if err := srv.Submit(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Submitted != 3 || st.EvictedQueueFull != 1 {
+		t.Fatalf("expected one eviction: %+v", st)
+	}
+	if probe.evict != 1 || probe.arrive != 3 {
+		t.Fatalf("probe disagreed: %+v", probe)
+	}
+}
+
+// TestServeChaosConcurrentReads hammers Snapshot, Inferences, Stats and
+// OnExecReport from many goroutines while the lanes serve a live feed; run
+// under -race this is the data-race gate, and at quiesce the books must
+// still match the serial replay exactly.
+func TestServeChaosConcurrentReads(t *testing.T) {
+	syms := []string{"ESU6", "NQU6", "YMU6", "RTYU6"}
+	packets := buildMarket(t, syms, nn.Window+20)
+	_, wantBooks, _ := serialRun(t, syms, packets)
+
+	log := NewOrderLog()
+	srv, err := New(buildMulti(t, syms), Config{Lanes: len(syms), Backpressure: true, OnOrders: log.Sink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var runWG sync.WaitGroup
+	runWG.Add(1)
+	go func() {
+		defer runWG.Done()
+		srv.Run(ctx)
+	}()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			sec := int32(g%len(syms) + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srv.Snapshot(sec, 0)
+				srv.Inferences(sec)
+				srv.Stats()
+				srv.OnExecReport(exchange.ExecReport{Exec: exchange.ExecAccepted, SecurityID: sec})
+			}
+		}(g)
+	}
+	for i, buf := range packets {
+		if err := srv.Submit(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Drain()
+	close(stop)
+	readers.Wait()
+	cancel()
+	runWG.Wait()
+
+	st := srv.Stats()
+	if st.Served+st.Late+st.Dropped() != st.Submitted {
+		t.Fatalf("accounting leak: %+v", st)
+	}
+	if st.Served != len(packets) {
+		t.Fatalf("served %d of %d", st.Served, len(packets))
+	}
+	for i := range syms {
+		sec := int32(i + 1)
+		got, _ := srv.Snapshot(sec, 0)
+		want := wantBooks[sec]
+		if got.Bids != want.Bids || got.Asks != want.Asks {
+			t.Fatalf("security %d book diverged under chaos", sec)
+		}
+	}
+}
+
+// TestServeModelledThroughputScaling measures the modelled serving makespan
+// (max per-lane Σ t_total from the latency tables) of one 8-instrument
+// replay at 1 lane vs 8 lanes. Queues are pre-filled before the workers
+// start, so batch decisions — and therefore the modelled times — are
+// deterministic. The lane fleet must cut the makespan at least 2x.
+func TestServeModelledThroughputScaling(t *testing.T) {
+	syms := []string{"ESU6", "NQU6", "YMU6", "RTYU6", "CLU6", "GCU6", "SIU6", "HGU6"}
+	packets := buildMarket(t, syms, 60)
+	syscfg, err := core.Configure(nn.NewSizedCNN("sched-tp", 8, 0), len(syms),
+		core.Sufficient, core.Options{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := func(lanes int) int64 {
+		srv, err := New(buildMulti(t, syms), Config{
+			Lanes: lanes, MaxQueue: len(packets) + 1,
+			Sched: &syscfg.Sched, TAvailNanos: 1 << 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, buf := range packets {
+			if err := srv.Submit(int64(i), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Run(ctx)
+		}()
+		srv.Drain()
+		cancel()
+		wg.Wait()
+		if st := srv.Stats(); st.Served != len(packets) {
+			t.Fatalf("lanes=%d served %d of %d: %+v", lanes, st.Served, len(packets), st)
+		}
+		var max int64
+		for _, n := range srv.ModelledBusyNanos() {
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	serial := makespan(1)
+	fleet := makespan(len(syms))
+	if serial == 0 || fleet == 0 {
+		t.Fatalf("no modelled time accumulated: serial %d fleet %d", serial, fleet)
+	}
+	speedup := float64(serial) / float64(fleet)
+	t.Logf("modelled makespan: 1 lane %.3f ms, %d lanes %.3f ms, speedup %.2fx",
+		float64(serial)/1e6, len(syms), float64(fleet)/1e6, speedup)
+	if speedup < 2 {
+		t.Fatalf("modelled speedup %.2fx < 2x", speedup)
+	}
+}
+
+// TestServeLifecycle covers constructor validation and the one-shot Run
+// contract.
+func TestServeLifecycle(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil multi accepted")
+	}
+	if _, err := New(core.NewMultiPipeline(), Config{}); err == nil {
+		t.Fatal("empty multi accepted")
+	}
+	syms := []string{"ESU6", "NQU6"}
+	if _, err := New(buildMulti(t, syms), Config{Lanes: -1}); err == nil {
+		t.Fatal("negative lanes accepted")
+	}
+	srv, err := New(buildMulti(t, syms), Config{Lanes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Lanes() != len(syms) {
+		t.Fatalf("lanes = %d, want capped at %d subscriptions", srv.Lanes(), len(syms))
+	}
+	if srv.Inline() {
+		t.Fatal("concurrent server reported inline")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	// A Server runs at most once: a second Run must refuse.
+	if err := srv.Run(context.Background()); err == nil {
+		t.Fatal("stopped server restarted")
+	}
+}

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -76,6 +77,9 @@ type RunOpts struct {
 	// itself; systems implementing Instrumentable additionally emit issue,
 	// evict, defer, DVFS and load-sample events.
 	Probe Probe
+	// Ctx, when non-nil, lets the caller cancel the run mid-trace. See
+	// WithContext for the partial-metrics contract.
+	Ctx context.Context
 }
 
 // RunOption mutates RunOpts (functional options for RunWithOptions).
@@ -83,6 +87,13 @@ type RunOption func(*RunOpts)
 
 // WithProbe attaches a probe to the run.
 func WithProbe(p Probe) RunOption { return func(o *RunOpts) { o.Probe = p } }
+
+// WithContext makes the run cancellable: when ctx is cancelled the engine
+// stops presenting new arrivals, abandons undrained internal events, and
+// returns metrics computed over exactly the queries presented so far — a
+// consistent partial state (rates, percentiles and energy all refer to the
+// same truncated prefix; queries still in flight count as Unaccounted).
+func WithContext(ctx context.Context) RunOption { return func(o *RunOpts) { o.Ctx = ctx } }
 
 // Run replays queries (which must be sorted by arrival time) through sys
 // and computes metrics. deterministic: same inputs → same outputs.
@@ -121,8 +132,17 @@ func RunWithOptions(queries []Query, sys SystemModel, opts ...RunOption) Metrics
 			})
 		}
 	}
+	// cancelled polls the context at most every cancelCheckStride arrivals;
+	// the stride keeps the uncancelled hot loop free of channel operations.
+	fed := 0
+	cancelled := func() bool {
+		return o.Ctx != nil && fed%cancelCheckStride == 0 && o.Ctx.Err() != nil
+	}
 	completions := make([]Completion, 0, len(queries))
 	for _, q := range queries {
+		if cancelled() {
+			break
+		}
 		for {
 			t := sys.NextEventTime()
 			if t == NoEvent || t > q.ArrivalNanos {
@@ -138,22 +158,25 @@ func RunWithOptions(queries []Query, sys SystemModel, opts ...RunOption) Metrics
 			})
 		}
 		sys.OnArrival(q.ArrivalNanos, q)
+		fed++
 	}
-	for {
-		t := sys.NextEventTime()
-		if t == NoEvent {
-			break
+	if fed == len(queries) {
+		for {
+			t := sys.NextEventTime()
+			if t == NoEvent {
+				break
+			}
+			done := sys.Advance(t)
+			observe(done)
+			completions = append(completions, done...)
 		}
-		done := sys.Advance(t)
-		observe(done)
-		completions = append(completions, done...)
 	}
-	m := computeMetrics(queries, completions)
+	m := computeMetrics(queries[:fed], completions)
 	m.System = sys.Name()
 	if er, ok := sys.(EnergyReporter); ok {
 		m.EnergyJoules = er.EnergyJoules()
-		if len(queries) > 1 {
-			span := float64(queries[len(queries)-1].ArrivalNanos-queries[0].ArrivalNanos) / 1e9
+		if fed > 1 {
+			span := float64(queries[fed-1].ArrivalNanos-queries[0].ArrivalNanos) / 1e9
 			if span > 0 {
 				m.AvgPowerWatts = m.EnergyJoules / span
 			}
@@ -161,6 +184,10 @@ func RunWithOptions(queries []Query, sys SystemModel, opts ...RunOption) Metrics
 	}
 	return m
 }
+
+// cancelCheckStride is how many arrivals pass between context polls in a
+// cancellable run; it bounds both cancellation latency and polling cost.
+const cancelCheckStride = 64
 
 // Metrics summarises one run.
 type Metrics struct {

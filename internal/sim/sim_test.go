@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"lighttrader/internal/feed"
@@ -204,4 +205,53 @@ func TestDuplicateCompletionsCountedOnce(t *testing.T) {
 	if m.Responded != 1 || m.Unaccounted != 0 {
 		t.Fatalf("metrics = %+v", m)
 	}
+}
+
+func TestRunWithContextCancellation(t *testing.T) {
+	queries := make([]Query, 1000)
+	for i := range queries {
+		queries[i] = Query{ID: int64(i), ArrivalNanos: int64(i * 37), DeadlineNanos: int64(i*37 + 500)}
+	}
+	// A live context changes nothing.
+	full := RunWithOptions(queries, &fifoServer{service: 50, watts: 1},
+		WithContext(context.Background()))
+	bare := Run(queries, &fifoServer{service: 50, watts: 1})
+	if full != bare {
+		t.Fatalf("live context perturbed the run:\n%+v\n%+v", full, bare)
+	}
+	// A pre-cancelled context presents no queries at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := RunWithOptions(queries, &fifoServer{service: 50, watts: 1}, WithContext(ctx))
+	if m.Total != 0 || m.Responded != 0 || m.Unaccounted != 0 {
+		t.Fatalf("cancelled run presented work: %+v", m)
+	}
+	// Cancelling mid-run leaves a consistent truncated prefix: every counted
+	// query is accounted against Total, and Total covers only presented ones.
+	midCtx, midCancel := context.WithCancel(context.Background())
+	defer midCancel()
+	stop := &cancelAfter{fifoServer: fifoServer{service: 50, watts: 1}, cancel: midCancel, after: 100}
+	m = RunWithOptions(queries, stop, WithContext(midCtx))
+	if m.Total == 0 || m.Total == len(queries) {
+		t.Fatalf("expected truncation, got Total=%d", m.Total)
+	}
+	if m.Responded+m.Dropped+m.Late+m.Unaccounted != m.Total {
+		t.Fatalf("inconsistent partial metrics: %+v", m)
+	}
+}
+
+// cancelAfter cancels its context after a fixed number of arrivals.
+type cancelAfter struct {
+	fifoServer
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancelAfter) OnArrival(now int64, q Query) {
+	c.seen++
+	if c.seen == c.after {
+		c.cancel()
+	}
+	c.fifoServer.OnArrival(now, q)
 }

@@ -1,0 +1,136 @@
+package trader_test
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/serve"
+	"lighttrader/internal/trader"
+	"lighttrader/internal/venue"
+)
+
+// TestMultiTraderLiveLoop runs the concurrent serving runtime inside the
+// live tick-to-trade loop: venue feed in through the arbiter, one lane of
+// online dispatch, orders surfacing asynchronously through the degradation
+// gate to a real order-entry session, and the book mirror converging to the
+// venue book at quiesce.
+func TestMultiTraderLiveLoop(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	feedConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:        "127.0.0.1:0",
+		FeedAddr:         feedConn.LocalAddr().String(),
+		SecurityID:       chaosSecID,
+		Symbol:           chaosSymbol,
+		MidPrice:         450000,
+		Depth:            100,
+		NoiseInterval:    300 * time.Microsecond,
+		NoiseSeed:        23,
+		SnapshotInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srvDone := make(chan struct{})
+	go func() { defer close(srvDone); _ = srv.Run(ctx) }()
+
+	mp := core.NewMultiPipeline()
+	if err := mp.Attach(newChaosPipeline(t)); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := trader.NewMulti(trader.Config{
+		OrderAddr:          srv.OrderAddr().String(),
+		UUID:               0xCAFE07,
+		KeepAliveMillis:    200,
+		BackoffSeed:        1,
+		CancelOnDisconnect: true,
+	}, mp, 8, serve.Config{Lanes: 1, Backpressure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lanes < 1 must refuse: the inline path belongs to trader.New.
+	if _, err := trader.NewMulti(trader.Config{}, mp, 8, serve.Config{Lanes: 0}); err == nil {
+		t.Fatal("NewMulti accepted an inline configuration")
+	}
+
+	clientCtx, clientCancel := context.WithCancel(ctx)
+	clientDone := make(chan struct{})
+	runDone := make(chan struct{})
+	feedDone := make(chan struct{})
+	go func() { defer close(clientDone); _ = mt.Client().Run(clientCtx) }()
+	go func() { defer close(runDone); _ = mt.Run(ctx) }()
+	go func() { defer close(feedDone); _ = mt.ServeFeed(ctx, feedConn) }()
+
+	readyCtx, readyCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := mt.Client().WaitReady(readyCtx); err != nil {
+		t.Fatalf("session never established: %v", err)
+	}
+	readyCancel()
+
+	// Orders are generated on the lane goroutine and must pass the gate
+	// once the session is up and the feed clean.
+	waitFor(t, 10*time.Second, "asynchronously routed orders", func() bool {
+		return mt.FeedStats().OrdersRouted > 0
+	})
+
+	// Quiesce exactly like the serial chaos test: stop churn and our own
+	// trading, then let a periodic snapshot resynchronise the mirror.
+	srv.SetNoise(false)
+	clientCancel()
+	<-clientDone
+
+	var venueSnap, local lob.Snapshot
+	converged := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		vs, ok := srv.Snapshot()
+		if ok {
+			bk, bok := mt.Book(chaosSecID)
+			if bok {
+				venueSnap, local = vs, bk
+				if booksMatch(venueSnap, local) {
+					converged = true
+					break
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !converged {
+		t.Logf("arbiter: %+v", mt.ArbiterStats())
+		t.Logf("feed: %+v", mt.FeedStats())
+		t.Fatal("book mirror never converged")
+	}
+
+	if mt.ArbiterStats().Delivered == 0 {
+		t.Fatal("nothing delivered through the arbiter")
+	}
+	st := mt.Serve().Stats()
+	if st.Submitted == 0 || st.Orders == 0 {
+		t.Fatalf("runtime idle: %+v", st)
+	}
+	if st.Served+st.Late+st.Dropped() != st.Submitted {
+		t.Fatalf("runtime accounting leak: %+v", st)
+	}
+	t.Logf("feed: %+v", mt.FeedStats())
+	t.Logf("serve: %+v", st)
+
+	cancel()
+	<-srvDone
+	<-runDone
+	<-feedDone
+	feedConn.Close()
+
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseGoroutines+2
+	})
+}

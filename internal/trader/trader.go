@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lighttrader/internal/core"
@@ -12,6 +13,8 @@ import (
 	"lighttrader/internal/lob"
 	"lighttrader/internal/mdclient"
 	"lighttrader/internal/orderentry"
+	"lighttrader/internal/sbe"
+	"lighttrader/internal/serve"
 )
 
 // FeedStats counts feed-side trader events.
@@ -23,26 +26,40 @@ type FeedStats struct {
 }
 
 // Trader is the full live tick-to-trade loop: arbitrated A/B market data in
-// through core.FeedHandler, the functional pipeline in the middle, and a
+// through core.FeedHandler, the serving runtime in the middle, and a
 // resilient order-entry Client out. While the feed is recovering from a gap
 // or the session is re-establishing, freshly generated orders are
 // suppressed — the appliance degrades to flat rather than trading on a book
 // it cannot trust.
+//
+// A Trader runs the serving runtime in its inline, single-lane
+// configuration: the live serial path is the degenerate case of the same
+// admission and dispatch code the multi-lane MultiTrader runs concurrently.
 type Trader struct {
 	client *Client
 
-	mu       sync.Mutex
-	pipeline *core.Pipeline
-	feed     *core.FeedHandler
-	stats    FeedStats
+	securityID int32
+	srv        *serve.Server
+
+	mu    sync.Mutex
+	feed  *core.FeedHandler
+	stats FeedStats
 }
 
-// New assembles a Trader. The client's OnAck is chained so execution acks
-// flow back into the pipeline's trading engine; any OnAck already present
-// in cfg still runs.
+// New assembles a Trader over one instrument's pipeline. The client's OnAck
+// is chained so execution acks flow back into the pipeline's trading engine;
+// any OnAck already present in cfg still runs.
 func New(cfg Config, pipeline *core.Pipeline, reorderWindow int) *Trader {
-	t := &Trader{pipeline: pipeline}
-	t.feed = core.NewFeedHandler(pipeline, reorderWindow)
+	mp := core.NewMultiPipeline()
+	if err := mp.Attach(pipeline); err != nil {
+		panic(err) // fresh multi; a single attach cannot collide
+	}
+	srv, err := serve.New(mp, serve.Config{Lanes: 0})
+	if err != nil {
+		panic(err) // one subscription, inline mode; cannot fail
+	}
+	t := &Trader{srv: srv, securityID: pipeline.SecurityID()}
+	t.feed = core.NewFeedHandlerFor(srv, reorderWindow)
 	userAck := cfg.OnAck
 	cfg.OnAck = func(ack orderentry.ExecAck) {
 		t.onAck(ack)
@@ -81,25 +98,21 @@ func (t *Trader) Recovering() bool {
 
 // Book returns the pipeline's local book mirror.
 func (t *Trader) Book() lob.Snapshot {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.pipeline.Snapshot(time.Now().UnixNano())
+	snap, _ := t.srv.Snapshot(t.securityID, time.Now().UnixNano())
+	return snap
 }
 
 // Inferences returns the pipeline's forward-pass count.
 func (t *Trader) Inferences() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.pipeline.Inferences()
+	return t.srv.Inferences(t.securityID)
 }
 
 // onAck serialises execution reports into the pipeline. Binary acks do not
 // carry the side; the trading engine recalls it from its own records.
 func (t *Trader) onAck(ack orderentry.ExecAck) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.pipeline.OnExecReport(exchange.ExecReport{
-		Exec: ack.Exec, ClOrdID: ack.ClOrdID, Price: ack.Price, Qty: ack.Qty,
+	t.srv.OnExecReport(exchange.ExecReport{
+		Exec: ack.Exec, SecurityID: t.securityID,
+		ClOrdID: ack.ClOrdID, Price: ack.Price, Qty: ack.Qty,
 	})
 }
 
@@ -138,6 +151,11 @@ func (t *Trader) OnDatagram(buf []byte) error {
 // the loop, never kill it. Run one ServeFeed goroutine per redundant feed
 // socket.
 func (t *Trader) ServeFeed(ctx context.Context, conn net.PacketConn) error {
+	return serveFeed(ctx, conn, t.OnDatagram)
+}
+
+// serveFeed is the shared datagram pump for both trader flavours.
+func serveFeed(ctx context.Context, conn net.PacketConn, ingest func([]byte) error) error {
 	buf := make([]byte, 64<<10)
 	for {
 		if ctx.Err() != nil {
@@ -155,6 +173,183 @@ func (t *Trader) ServeFeed(ctx context.Context, conn net.PacketConn) error {
 			}
 			return err
 		}
-		_ = t.OnDatagram(buf[:n]) // bad datagrams already counted
+		_ = ingest(buf[:n]) // bad datagrams already counted
 	}
+}
+
+// MultiTrader is the multi-symbol live loop: arbitrated feed in, the
+// concurrent serving runtime (N lanes of online Algorithm-1 dispatch) in the
+// middle, one order-entry client out. Orders surface asynchronously on lane
+// goroutines and pass the same degradation gate as the serial Trader before
+// reaching the wire.
+type MultiTrader struct {
+	client *Client
+	srv    *serve.Server
+
+	mu    sync.Mutex
+	feed  *core.FeedHandler
+	stats FeedStats
+
+	// degraded caches the feed/session health for the lane-side order gate:
+	// lanes must not touch the FeedHandler (single-goroutine) directly.
+	degraded atomic.Bool
+
+	// owner maps in-flight client order ids to their instrument so acks
+	// (which do not carry a security id on the wire) can be routed back.
+	ownerMu sync.Mutex
+	owner   map[uint64]int32
+}
+
+// NewMulti assembles a MultiTrader over a subscription set. scfg configures
+// the runtime (lane count, admission, probe); any OnOrders sink in it is
+// chained after the degradation gate, and Lanes must be ≥ 1 (use New for
+// the inline single-symbol loop). Start the lanes with Run.
+func NewMulti(cfg Config, mp *core.MultiPipeline, reorderWindow int, scfg serve.Config) (*MultiTrader, error) {
+	if scfg.Lanes < 1 {
+		return nil, errors.New("trader: MultiTrader needs at least one lane")
+	}
+	t := &MultiTrader{owner: make(map[uint64]int32)}
+	t.degraded.Store(true) // gated until the session is up and the feed clean
+	userSink := scfg.OnOrders
+	scfg.OnOrders = func(sec int32, reqs []exchange.Request) {
+		t.routeOrders(sec, reqs)
+		if userSink != nil {
+			userSink(sec, reqs)
+		}
+	}
+	srv, err := serve.New(mp, scfg)
+	if err != nil {
+		return nil, err
+	}
+	t.srv = srv
+	t.feed = core.NewFeedHandlerFor(asyncSubmit{t}, reorderWindow)
+	userAck := cfg.OnAck
+	cfg.OnAck = func(ack orderentry.ExecAck) {
+		t.onAck(ack)
+		if userAck != nil {
+			userAck(ack)
+		}
+	}
+	t.client = NewClient(cfg)
+	return t, nil
+}
+
+// asyncSubmit adapts the concurrent runtime to core.PacketHandler: packets
+// are enqueued for the lanes and no orders return synchronously.
+type asyncSubmit struct{ t *MultiTrader }
+
+func (a asyncSubmit) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
+	a.t.srv.SubmitPacket(a.t.arrivalNanos(pkt), pkt)
+	return nil, nil
+}
+
+// arrivalNanos stamps a submission: the runtime clock when configured, the
+// packet's transact time otherwise.
+func (t *MultiTrader) arrivalNanos(pkt sbe.Packet) int64 {
+	for _, msg := range pkt.Messages {
+		if msg.Incremental != nil {
+			return int64(msg.Incremental.TransactTime)
+		}
+	}
+	return time.Now().UnixNano()
+}
+
+// Run starts the lane workers and blocks until ctx is cancelled (run it
+// alongside Client.Run and the ServeFeed pumps).
+func (t *MultiTrader) Run(ctx context.Context) error { return t.srv.Run(ctx) }
+
+// Client exposes the order-entry session owner.
+func (t *MultiTrader) Client() *Client { return t.client }
+
+// Serve exposes the underlying runtime (stats, snapshots, drain).
+func (t *MultiTrader) Serve() *serve.Server { return t.srv }
+
+// FeedStats returns feed-side counters.
+func (t *MultiTrader) FeedStats() FeedStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ArbiterStats returns the A/B arbitration counters.
+func (t *MultiTrader) ArbiterStats() mdclient.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.feed.Stats()
+}
+
+// Recovering reports whether the feed has declared a gap.
+func (t *MultiTrader) Recovering() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.feed.Recovering()
+}
+
+// Book returns one instrument's local book mirror.
+func (t *MultiTrader) Book(securityID int32) (lob.Snapshot, bool) {
+	return t.srv.Snapshot(securityID, time.Now().UnixNano())
+}
+
+// OnDatagram ingests one datagram from either feed. Orders generated by the
+// lanes surface through the gated sink, not the return path.
+func (t *MultiTrader) OnDatagram(buf []byte) error {
+	t.mu.Lock()
+	t.stats.Datagrams++
+	_, err := t.feed.OnDatagram(buf)
+	if err != nil {
+		t.stats.BadDatagrams++
+	}
+	t.degraded.Store(t.feed.Recovering() || !t.client.Ready())
+	t.mu.Unlock()
+	return err
+}
+
+// ServeFeed reads datagrams from conn into the trader until ctx ends.
+func (t *MultiTrader) ServeFeed(ctx context.Context, conn net.PacketConn) error {
+	return serveFeed(ctx, conn, t.OnDatagram)
+}
+
+// routeOrders is the lane-side order gate: suppressed while degraded,
+// otherwise recorded for ack routing and sent.
+func (t *MultiTrader) routeOrders(sec int32, reqs []exchange.Request) {
+	if t.degraded.Load() || !t.client.Ready() {
+		t.mu.Lock()
+		t.stats.Suppressed += len(reqs)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	t.stats.OrdersRouted += len(reqs)
+	t.mu.Unlock()
+	t.ownerMu.Lock()
+	for _, req := range reqs {
+		t.owner[req.ClOrdID] = sec
+		if req.NewClOrdID != 0 {
+			t.owner[req.NewClOrdID] = sec
+		}
+	}
+	t.ownerMu.Unlock()
+	for _, req := range reqs {
+		if err := t.client.Send(req); err != nil {
+			return // session dropped; cancel-on-disconnect applies
+		}
+	}
+}
+
+// onAck routes an execution ack to the owning instrument's pipeline.
+func (t *MultiTrader) onAck(ack orderentry.ExecAck) {
+	t.ownerMu.Lock()
+	sec, ok := t.owner[ack.ClOrdID]
+	if ok && (ack.Exec == exchange.ExecCanceled || ack.Exec == exchange.ExecRejected) {
+		delete(t.owner, ack.ClOrdID) // terminal: the id retires
+		// Fills are not retired here: an order may fill in parts.
+	}
+	t.ownerMu.Unlock()
+	if !ok {
+		return
+	}
+	t.srv.OnExecReport(exchange.ExecReport{
+		Exec: ack.Exec, SecurityID: sec,
+		ClOrdID: ack.ClOrdID, Price: ack.Price, Qty: ack.Qty,
+	})
 }

@@ -19,11 +19,17 @@
 // The quickest path from zero to a running back-test:
 //
 //	trace := lighttrader.GenerateTrace(lighttrader.DefaultTraceConfig(), 20000)
-//	sys, _ := lighttrader.NewLightTrader(lighttrader.NewDeepLOB(), 4,
-//	    lighttrader.Sufficient, lighttrader.SchedulerOptions{
-//	        WorkloadScheduling: true, DVFSScheduling: true})
+//	sys, _ := lighttrader.New(lighttrader.NewDeepLOB(),
+//	    lighttrader.WithAccelerators(4),
+//	    lighttrader.WithWorkloadScheduling(),
+//	    lighttrader.WithDVFSScheduling())
 //	metrics := lighttrader.Backtest(trace, 20*time.Millisecond, sys)
 //	fmt.Printf("response rate: %.1f%%\n", 100*metrics.ResponseRate)
+//
+// For multi-symbol serving, subscribe instruments on a MultiPipeline and
+// run them through NewServer — a concurrent runtime applying the proactive
+// scheduler's batch/deadline decision online across worker lanes (see
+// DESIGN.md §9). BacktestContext adds cancellation to long replays.
 //
 // See examples/ for runnable programs and DESIGN.md for the system
 // inventory and per-experiment index.
@@ -115,6 +121,10 @@ type Metrics = sim.Metrics
 // NewLightTrader assembles a simulated LightTrader appliance: model
 // compiled for the CGRA accelerator, n accelerators, the given power
 // condition, and scheduler options.
+//
+// Deprecated: use New with functional options — New(m,
+// WithAccelerators(n), WithPowerBudget(power), WithWorkloadScheduling(),
+// ...). This wrapper remains for source compatibility.
 func NewLightTrader(m *Model, n int, power PowerCondition, opts SchedulerOptions) (System, error) {
 	cfg, err := core.Configure(m, n, power, opts)
 	if err != nil {

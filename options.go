@@ -1,0 +1,220 @@
+package lighttrader
+
+// The context-aware facade. New, NewServer and BacktestContext are the
+// documented entry points; configuration flows through functional options so
+// one vocabulary (WithAccelerators, WithPowerBudget, WithWorkloadScheduling,
+// WithProbe, ...) covers both the back-test simulator and the live serving
+// runtime. The positional NewLightTrader constructor remains as a thin
+// deprecated wrapper.
+
+import (
+	"context"
+	"time"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/core"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/serve"
+	"lighttrader/internal/sim"
+)
+
+// Probe observes a run's query lifecycle, DVFS transitions and load samples
+// (attach with WithProbe).
+type Probe = sim.Probe
+
+// Tracer is the built-in Probe: per-cause miss attribution plus JSONL event
+// export.
+type Tracer = sim.Tracer
+
+// NewTracer returns an empty Tracer.
+func NewTracer() *Tracer { return sim.NewTracer() }
+
+// Policy selects Algorithm 1's issue objective (PPW by default).
+type Policy = sched.Policy
+
+// Precision selects the accelerator execution data type.
+type Precision = cgra.Precision
+
+// MultiPipeline is the multi-instrument subscription set: one functional
+// pipeline per symbol over a shared market-data channel.
+type MultiPipeline = core.MultiPipeline
+
+// NewMultiPipeline returns an empty subscription set; Add instruments, then
+// serve it with NewServer (or drive it serially with OnPacket).
+func NewMultiPipeline() *MultiPipeline { return core.NewMultiPipeline() }
+
+// Server is the concurrent multi-symbol serving runtime: worker lanes (one
+// per modelled accelerator) applying Algorithm 1's batch/deadline decision
+// to live queries.
+type Server = serve.Server
+
+// ServeStats is the runtime's miss-attribution counter set.
+type ServeStats = serve.Stats
+
+// OrderSink receives the orders one instrument generated from one packet.
+type OrderSink = serve.OrderSink
+
+// OrderLog is a thread-safe OrderSink recording per-instrument streams.
+type OrderLog = serve.OrderLog
+
+// NewOrderLog returns an empty order log.
+func NewOrderLog() *OrderLog { return serve.NewOrderLog() }
+
+// config is the resolved option set shared by New, NewServer and
+// BacktestContext.
+type config struct {
+	accels    int
+	power     PowerCondition
+	schedOpts SchedulerOptions
+	admission bool // any scheduling feature requested
+
+	probe        Probe
+	deadline     time.Duration
+	maxQueue     int
+	backpressure bool
+	inline       bool
+	sink         OrderSink
+	clock        func() int64
+}
+
+// Option configures New, NewServer or BacktestContext. Options that do not
+// apply to an entry point are ignored by it (WithOrderSink has no meaning
+// in a back-test; WithPrecision has none at run time).
+type Option func(*config)
+
+func defaults() config {
+	return config{accels: 4, power: Sufficient}
+}
+
+func resolve(opts []Option) config {
+	cfg := defaults()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithAccelerators sets the modelled accelerator count: simulated
+// accelerators in a back-test system, worker lanes in a serving runtime
+// (one logical lane per accelerator). Default 4.
+func WithAccelerators(n int) Option { return func(c *config) { c.accels = n } }
+
+// WithPowerBudget selects the card power envelope (Sufficient or Limited,
+// or a custom PowerCondition). Default Sufficient.
+func WithPowerBudget(p PowerCondition) Option { return func(c *config) { c.power = p } }
+
+// WithWorkloadScheduling enables Algorithm 1 (PPW-driven batch and DVFS
+// selection under the deadline).
+func WithWorkloadScheduling() Option {
+	return func(c *config) { c.schedOpts.WorkloadScheduling = true; c.admission = true }
+}
+
+// WithDVFSScheduling enables Algorithm 2 (DVFS power redistribution).
+func WithDVFSScheduling() Option {
+	return func(c *config) { c.schedOpts.DVFSScheduling = true; c.admission = true }
+}
+
+// WithBatchOptions overrides Algorithm 1's batch ladder.
+func WithBatchOptions(batches []int) Option {
+	return func(c *config) { c.schedOpts.BatchOptions = batches }
+}
+
+// WithPolicy overrides Algorithm 1's issue objective.
+func WithPolicy(p Policy) Option { return func(c *config) { c.schedOpts.Policy = p } }
+
+// WithPrecision selects the accelerator execution data type (default BF16).
+func WithPrecision(p Precision) Option { return func(c *config) { c.schedOpts.Precision = p } }
+
+// WithProbe attaches an observability probe: to the simulator in
+// BacktestContext, to the runtime in NewServer.
+func WithProbe(p Probe) Option { return func(c *config) { c.probe = p } }
+
+// WithDeadline grants served queries a per-query time budget (t_avail);
+// zero means no deadline. Serving entry points only.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithMaxQueue bounds each lane's queue (default 64). Serving only.
+func WithMaxQueue(n int) Option { return func(c *config) { c.maxQueue = n } }
+
+// WithBackpressure blocks submission when a lane queue is full instead of
+// evicting the oldest query. Serving only.
+func WithBackpressure() Option { return func(c *config) { c.backpressure = true } }
+
+// WithInline runs the serving runtime inline on the caller's goroutine —
+// the degenerate serial configuration (orders return synchronously through
+// Server.OnDecodedPacket).
+func WithInline() Option { return func(c *config) { c.inline = true } }
+
+// WithOrderSink routes generated orders to sink. Serving only.
+func WithOrderSink(sink OrderSink) Option { return func(c *config) { c.sink = sink } }
+
+// WithClock supplies the serving admission clock (default: the
+// deterministic arrival-driven logical clock). Serving only.
+func WithClock(clock func() int64) Option { return func(c *config) { c.clock = clock } }
+
+// New assembles a simulated LightTrader appliance from options:
+//
+//	sys, err := lighttrader.New(lighttrader.NewDeepLOB(),
+//	    lighttrader.WithAccelerators(4),
+//	    lighttrader.WithPowerBudget(lighttrader.Limited),
+//	    lighttrader.WithWorkloadScheduling(),
+//	    lighttrader.WithDVFSScheduling())
+//
+// Defaults: 4 accelerators, the sufficient power envelope, both scheduler
+// features off, BF16.
+func New(m *Model, opts ...Option) (System, error) {
+	cfg := resolve(opts)
+	syscfg, err := core.Configure(m, cfg.accels, cfg.power, cfg.schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem(syscfg)
+}
+
+// NewServer assembles the concurrent serving runtime over a subscription
+// set. WithAccelerators sets the lane count (WithInline selects the serial
+// degenerate configuration instead); WithWorkloadScheduling/
+// WithDVFSScheduling enable online Algorithm-1 admission with latency
+// tables compiled for the first subscription's model under WithPowerBudget;
+// WithDeadline, WithMaxQueue, WithBackpressure, WithProbe, WithOrderSink
+// and WithClock configure the runtime directly. Start lanes with
+// Server.Run; feed packets with Server.Submit.
+func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
+	cfg := resolve(opts)
+	scfg := serve.Config{
+		MaxQueue:     cfg.maxQueue,
+		Backpressure: cfg.backpressure,
+		TAvailNanos:  cfg.deadline.Nanoseconds(),
+		Clock:        cfg.clock,
+		Probe:        cfg.probe,
+		OnOrders:     cfg.sink,
+	}
+	if !cfg.inline {
+		scfg.Lanes = cfg.accels
+	}
+	if cfg.admission && mp != nil && mp.Len() > 0 {
+		lanes := scfg.Lanes
+		if lanes == 0 {
+			lanes = 1
+		}
+		syscfg, err := core.Configure(mp.Pipelines()[0].Model(), lanes, cfg.power, cfg.schedOpts)
+		if err != nil {
+			return nil, err
+		}
+		scfg.Sched = &syscfg.Sched
+	}
+	return serve.New(mp, scfg)
+}
+
+// BacktestContext is Backtest under a context: cancellation stops the
+// replay at the next arrival boundary and returns metrics over the
+// truncated prefix — every counted query is fully accounted, none are torn.
+// WithProbe attaches an observer; other options are ignored.
+func BacktestContext(ctx context.Context, ticks []Tick, tAvail time.Duration, sys System, opts ...Option) Metrics {
+	cfg := resolve(opts)
+	ro := []sim.RunOption{sim.WithContext(ctx)}
+	if cfg.probe != nil {
+		ro = append(ro, sim.WithProbe(cfg.probe))
+	}
+	return sim.RunWithOptions(sim.QueriesFromTicks(ticks, tAvail.Nanoseconds()), sys, ro...)
+}
