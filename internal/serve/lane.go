@@ -185,9 +185,13 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 				return batch, issue, now, true
 			}
 			// No feasible candidate for the oldest query: drop it, attribute
-			// the cause, and retry with the next.
+			// the cause, and retry with the next. The drop frees queue space,
+			// so wake backpressured submitters and Drain waiters sharing the
+			// cond — if the whole backlog drains this way the worker parks in
+			// Wait below and nothing else would ever wake them.
 			l.queue = l.queue[1:]
 			l.srv.queued.Add(-1)
+			l.cond.Broadcast()
 			switch verdict {
 			case sched.VerdictPowerInfeasible:
 				l.srv.stats.deferredPower.Add(1)

@@ -46,7 +46,8 @@ type Config struct {
 	// (the degenerate serial configuration); negative is an error.
 	Lanes int
 	// MaxQueue bounds each lane's query queue; an arrival beyond it evicts
-	// the lane's oldest query (stale-tensor management). 0 means 64.
+	// the lane's oldest query (stale-tensor management). 0 means 64;
+	// negative is an error.
 	MaxQueue int
 	// Backpressure switches the full-queue policy from eviction to blocking:
 	// SubmitPacket stalls until the owning lane has room, so a replay is
@@ -111,6 +112,9 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 	}
 	if cfg.Lanes < 0 {
 		return nil, fmt.Errorf("serve: negative lane count %d", cfg.Lanes)
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: negative queue bound %d", cfg.MaxQueue)
 	}
 	if cfg.Sched != nil && cfg.Sched.Kernel == nil {
 		return nil, errors.New("serve: scheduling config carries no kernel")
@@ -268,6 +272,15 @@ func (s *Server) deliver(securityID int32, reqs []exchange.Request) {
 		s.cfg.OnOrders(securityID, reqs)
 	}
 }
+
+// ArrivalNanos returns the submission timestamp this Server would stamp on
+// pkt: the configured clock, or — under the arrival-driven logical clock —
+// the packet's first transact time, falling back to 0 for packets that
+// carry none (trades, snapshots). Submitters without their own arrival
+// source should use it so trace replays stay deterministic: a wall-clock
+// fallback would ratchet the logical clock far ahead of trace time and can
+// make every later deadline infeasible.
+func (s *Server) ArrivalNanos(pkt sbe.Packet) int64 { return s.clockNow(pkt) }
 
 // clockNow returns the submission timestamp for OnDecodedPacket: the
 // configured clock, or the packet's first transact time (falling back to 0)

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"lighttrader/internal/core"
 	"lighttrader/internal/exchange"
@@ -490,6 +491,101 @@ func TestServeModelledThroughputScaling(t *testing.T) {
 	}
 }
 
+// TestServeDropWakesBackpressure pins the drop-path wakeup: when online
+// Algorithm 1 drains a lane's whole backlog by dropping infeasible queries,
+// the drops must wake backpressured submitters and Drain waiters — without
+// the broadcast the worker parks in Wait with the queue empty while a
+// submitter parked at the full-queue bound sleeps forever.
+func TestServeDropWakesBackpressure(t *testing.T) {
+	syms := []string{"ESU6"}
+	packets := buildMarket(t, syms, 40)
+	syscfg, err := core.Configure(nn.NewSizedCNN("sched-bp", 8, 0), 1,
+		core.Sufficient, core.Options{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syscfg.Sched.MinTotalNanos() <= 1 {
+		t.Fatal("latency floor too low for the test premise")
+	}
+	srv, err := New(buildMulti(t, syms), Config{
+		Lanes: 1, MaxQueue: 2, Backpressure: true,
+		Sched: &syscfg.Sched, TAvailNanos: 1, // every query deadline-infeasible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Run(ctx)
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, buf := range packets {
+			if err := srv.Submit(int64(i), buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		srv.Drain()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("backpressured submitter or Drain never woken by the drop path")
+	}
+	cancel()
+	wg.Wait()
+	st := srv.Stats()
+	if st.Submitted != len(packets) || st.DeferredDeadline+st.EvictedQueueFull != len(packets) {
+		t.Fatalf("expected every query dropped: %+v", st)
+	}
+}
+
+// TestServeArrivalNanos pins the submission clock submitters without an
+// arrival source must share: transact time for incrementals, zero (not wall
+// time) for packets that carry none, the configured clock when present.
+func TestServeArrivalNanos(t *testing.T) {
+	syms := []string{"ESU6"}
+	packets := buildMarket(t, syms, 3)
+	srv, err := New(buildMulti(t, syms), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := sbe.DecodePacket(packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, msg := range pkt.Messages {
+		if msg.Incremental != nil {
+			want = int64(msg.Incremental.TransactTime)
+			break
+		}
+	}
+	if want == 0 {
+		t.Fatal("first packet carries no transact time; premise broken")
+	}
+	if got := srv.ArrivalNanos(pkt); got != want {
+		t.Fatalf("ArrivalNanos = %d, want transact time %d", got, want)
+	}
+	// No incremental: a wall-clock fallback here would ratchet the logical
+	// clock ahead of trace time; the stamp must be 0.
+	if got := srv.ArrivalNanos(sbe.Packet{}); got != 0 {
+		t.Fatalf("ArrivalNanos(empty) = %d, want 0", got)
+	}
+	clocked, err := New(buildMulti(t, syms), Config{Clock: func() int64 { return 42 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clocked.ArrivalNanos(sbe.Packet{}); got != 42 {
+		t.Fatalf("ArrivalNanos under Clock = %d, want 42", got)
+	}
+}
+
 // TestServeLifecycle covers constructor validation and the one-shot Run
 // contract.
 func TestServeLifecycle(t *testing.T) {
@@ -502,6 +598,11 @@ func TestServeLifecycle(t *testing.T) {
 	syms := []string{"ESU6", "NQU6"}
 	if _, err := New(buildMulti(t, syms), Config{Lanes: -1}); err == nil {
 		t.Fatal("negative lanes accepted")
+	}
+	// A negative queue bound would make enqueue's eviction branch index an
+	// empty queue (or park a backpressured submitter forever).
+	if _, err := New(buildMulti(t, syms), Config{MaxQueue: -1}); err == nil {
+		t.Fatal("negative queue bound accepted")
 	}
 	srv, err := New(buildMulti(t, syms), Config{Lanes: 8})
 	if err != nil {

@@ -186,9 +186,20 @@ type MultiTrader struct {
 	client *Client
 	srv    *serve.Server
 
-	mu    sync.Mutex
-	feed  *core.FeedHandler
-	stats FeedStats
+	// feedMu serialises the single-goroutine FeedHandler. It is held across
+	// feed.OnDatagram — which, under a Backpressure config, can park inside
+	// serve.SubmitPacket until a lane drains — so nothing a lane goroutine
+	// runs (routeOrders, onAck) may ever take it: that ABBA cycle would
+	// deadlock the whole loop the first time a queue fills mid-delivery.
+	// Lane-shared state lives in atomics and ownerMu instead.
+	feedMu sync.Mutex
+	feed   *core.FeedHandler
+
+	// Feed counters (atomics: bumped from the feed pump and lane goroutines).
+	datagrams    atomic.Int64
+	badDatagrams atomic.Int64
+	suppressed   atomic.Int64
+	ordersRouted atomic.Int64
 
 	// degraded caches the feed/session health for the lane-side order gate:
 	// lanes must not touch the FeedHandler (single-goroutine) directly.
@@ -196,8 +207,17 @@ type MultiTrader struct {
 
 	// owner maps in-flight client order ids to their instrument so acks
 	// (which do not carry a security id on the wire) can be routed back.
+	// Entries retire on terminal acks and on cumulative fills, so the map
+	// tracks only the live order population in a long-running session.
 	ownerMu sync.Mutex
-	owner   map[uint64]int32
+	owner   map[uint64]liveOrder
+}
+
+// liveOrder is the ack-routing record of one in-flight client order.
+type liveOrder struct {
+	sec       int32
+	remaining int64  // outstanding qty; the id retires when fills consume it
+	replaces  uint64 // prior id this order replaced, retired on ExecReplaced
 }
 
 // NewMulti assembles a MultiTrader over a subscription set. scfg configures
@@ -208,7 +228,7 @@ func NewMulti(cfg Config, mp *core.MultiPipeline, reorderWindow int, scfg serve.
 	if scfg.Lanes < 1 {
 		return nil, errors.New("trader: MultiTrader needs at least one lane")
 	}
-	t := &MultiTrader{owner: make(map[uint64]int32)}
+	t := &MultiTrader{owner: make(map[uint64]liveOrder)}
 	t.degraded.Store(true) // gated until the session is up and the feed clean
 	userSink := scfg.OnOrders
 	scfg.OnOrders = func(sec int32, reqs []exchange.Request) {
@@ -243,15 +263,12 @@ func (a asyncSubmit) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error)
 	return nil, nil
 }
 
-// arrivalNanos stamps a submission: the runtime clock when configured, the
-// packet's transact time otherwise.
+// arrivalNanos stamps a submission with the runtime's own arrival clock
+// (the configured clock, or the packet's transact time under the logical
+// clock — never wall time, which would break replay determinism and
+// ratchet deadlines infeasible).
 func (t *MultiTrader) arrivalNanos(pkt sbe.Packet) int64 {
-	for _, msg := range pkt.Messages {
-		if msg.Incremental != nil {
-			return int64(msg.Incremental.TransactTime)
-		}
-	}
-	return time.Now().UnixNano()
+	return t.srv.ArrivalNanos(pkt)
 }
 
 // Run starts the lane workers and blocks until ctx is cancelled (run it
@@ -266,22 +283,25 @@ func (t *MultiTrader) Serve() *serve.Server { return t.srv }
 
 // FeedStats returns feed-side counters.
 func (t *MultiTrader) FeedStats() FeedStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return FeedStats{
+		Datagrams:    int(t.datagrams.Load()),
+		BadDatagrams: int(t.badDatagrams.Load()),
+		Suppressed:   int(t.suppressed.Load()),
+		OrdersRouted: int(t.ordersRouted.Load()),
+	}
 }
 
 // ArbiterStats returns the A/B arbitration counters.
 func (t *MultiTrader) ArbiterStats() mdclient.Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.feedMu.Lock()
+	defer t.feedMu.Unlock()
 	return t.feed.Stats()
 }
 
 // Recovering reports whether the feed has declared a gap.
 func (t *MultiTrader) Recovering() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.feedMu.Lock()
+	defer t.feedMu.Unlock()
 	return t.feed.Recovering()
 }
 
@@ -293,14 +313,14 @@ func (t *MultiTrader) Book(securityID int32) (lob.Snapshot, bool) {
 // OnDatagram ingests one datagram from either feed. Orders generated by the
 // lanes surface through the gated sink, not the return path.
 func (t *MultiTrader) OnDatagram(buf []byte) error {
-	t.mu.Lock()
-	t.stats.Datagrams++
+	t.datagrams.Add(1)
+	t.feedMu.Lock()
 	_, err := t.feed.OnDatagram(buf)
-	if err != nil {
-		t.stats.BadDatagrams++
-	}
 	t.degraded.Store(t.feed.Recovering() || !t.client.Ready())
-	t.mu.Unlock()
+	t.feedMu.Unlock()
+	if err != nil {
+		t.badDatagrams.Add(1)
+	}
 	return err
 }
 
@@ -310,25 +330,15 @@ func (t *MultiTrader) ServeFeed(ctx context.Context, conn net.PacketConn) error 
 }
 
 // routeOrders is the lane-side order gate: suppressed while degraded,
-// otherwise recorded for ack routing and sent.
+// otherwise recorded for ack routing and sent. It runs on lane goroutines
+// and must never take feedMu (see the field comment).
 func (t *MultiTrader) routeOrders(sec int32, reqs []exchange.Request) {
 	if t.degraded.Load() || !t.client.Ready() {
-		t.mu.Lock()
-		t.stats.Suppressed += len(reqs)
-		t.mu.Unlock()
+		t.suppressed.Add(int64(len(reqs)))
 		return
 	}
-	t.mu.Lock()
-	t.stats.OrdersRouted += len(reqs)
-	t.mu.Unlock()
-	t.ownerMu.Lock()
-	for _, req := range reqs {
-		t.owner[req.ClOrdID] = sec
-		if req.NewClOrdID != 0 {
-			t.owner[req.NewClOrdID] = sec
-		}
-	}
-	t.ownerMu.Unlock()
+	t.ordersRouted.Add(int64(len(reqs)))
+	t.trackOrders(sec, reqs)
 	for _, req := range reqs {
 		if err := t.client.Send(req); err != nil {
 			return // session dropped; cancel-on-disconnect applies
@@ -336,15 +346,58 @@ func (t *MultiTrader) routeOrders(sec int32, reqs []exchange.Request) {
 	}
 }
 
-// onAck routes an execution ack to the owning instrument's pipeline.
-func (t *MultiTrader) onAck(ack orderentry.ExecAck) {
+// trackOrders records outbound requests in the owner map for ack routing.
+func (t *MultiTrader) trackOrders(sec int32, reqs []exchange.Request) {
 	t.ownerMu.Lock()
-	sec, ok := t.owner[ack.ClOrdID]
-	if ok && (ack.Exec == exchange.ExecCanceled || ack.Exec == exchange.ExecRejected) {
-		delete(t.owner, ack.ClOrdID) // terminal: the id retires
-		// Fills are not retired here: an order may fill in parts.
+	defer t.ownerMu.Unlock()
+	for _, req := range reqs {
+		switch req.Kind {
+		case exchange.ReqNew:
+			t.owner[req.ClOrdID] = liveOrder{sec: sec, remaining: req.Qty}
+		case exchange.ReqReplace:
+			t.owner[req.NewClOrdID] = liveOrder{sec: sec, remaining: req.Qty,
+				replaces: req.ClOrdID}
+		default: // cancels target an id the map already tracks
+			if _, ok := t.owner[req.ClOrdID]; !ok {
+				t.owner[req.ClOrdID] = liveOrder{sec: sec}
+			}
+		}
 	}
-	t.ownerMu.Unlock()
+}
+
+// resolveAck maps an ack to its owning instrument and retires finished ids:
+// terminal acks (cancel, reject, full fill) drop the entry, partial fills
+// run down the remaining qty and drop it at zero, and a replace ack retires
+// the id it replaced. Unbounded growth here would leak a long-lived session.
+func (t *MultiTrader) resolveAck(ack orderentry.ExecAck) (sec int32, ok bool) {
+	t.ownerMu.Lock()
+	defer t.ownerMu.Unlock()
+	ord, ok := t.owner[ack.ClOrdID]
+	if !ok {
+		return 0, false
+	}
+	switch ack.Exec {
+	case exchange.ExecCanceled, exchange.ExecRejected, exchange.ExecFilled:
+		delete(t.owner, ack.ClOrdID)
+	case exchange.ExecPartialFill:
+		ord.remaining -= ack.Qty
+		if ord.remaining <= 0 {
+			delete(t.owner, ack.ClOrdID)
+		} else {
+			t.owner[ack.ClOrdID] = ord
+		}
+	case exchange.ExecReplaced:
+		if ord.replaces != 0 {
+			delete(t.owner, ord.replaces)
+		}
+	}
+	return ord.sec, true
+}
+
+// onAck routes an execution ack to the owning instrument's pipeline. It runs
+// on the client's session goroutine and must never take feedMu.
+func (t *MultiTrader) onAck(ack orderentry.ExecAck) {
+	sec, ok := t.resolveAck(ack)
 	if !ok {
 		return
 	}
