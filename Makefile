@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,15 @@ api-check:
 api-update:
 	$(GO) test -run '^TestAPISnapshot$$' . -update-api
 
-# Kernel/inference micro-benchmarks (GEMM, conv, LSTM, model inference),
-# archived as JSON so runs can be diffed. See EXPERIMENTS.md.
+# Kernel/inference micro-benchmarks (GEMM, conv, LSTM, model inference) and
+# the tick-to-trade hot-path benchmarks (wire decode, book ops, end-to-end
+# pipeline), archived as JSON so runs can be diffed. See EXPERIMENTS.md.
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./internal/tensor/ ./internal/nn/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	$(GO) test -run=^$$ -bench=. -benchmem \
+		./internal/sbe/ ./internal/lob/ ./internal/latency/ ./internal/core/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_tickpath.json
 
 # Every benchmark in the repo (including the sim-engine harness).
 bench-all:
@@ -44,6 +48,13 @@ bench-all:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/tensor/ ./internal/nn/
 
+# One iteration of each tick-path benchmark plus the zero-allocation
+# regression tests over the hot path (decode-into, book ops, snapshot,
+# histogram record, end-to-end tick): allocation creep fails CI here.
+bench-tickpath:
+	$(GO) test -run='ZeroAlloc' -bench=. -benchtime=1x \
+		./internal/sbe/ ./internal/lob/ ./internal/latency/ ./internal/core/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -52,9 +63,11 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodeFrame$$ -fuzztime=10s ./internal/orderentry/
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacket$$ -fuzztime=10s ./internal/sbe/
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodeMessage$$ -fuzztime=10s ./internal/sbe/
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacketParity$$ -fuzztime=10s ./internal/sbe/
 
 # The full CI gate: formatting, static analysis, build, the API snapshot,
 # the test suite under the race detector (which covers the concurrent
-# serving runtime in internal/serve), a single-iteration benchmark smoke
-# run, and a short fuzz pass over the wire decoders.
-ci: fmt-check vet build api-check race bench-smoke fuzz-smoke
+# serving runtime in internal/serve), single-iteration benchmark smoke
+# runs (kernels and the zero-alloc tick path), and a short fuzz pass over
+# the wire decoders.
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath fuzz-smoke

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lighttrader"
+	"lighttrader/internal/prof"
 )
 
 func main() {
@@ -37,7 +38,15 @@ func main() {
 	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
 	serveMode := flag.Bool("serve", false, "drive the concurrent serving runtime instead of a back-test")
 	symbols := flag.Int("symbols", 8, "subscribed instruments (-serve mode)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	pc := lighttrader.Sufficient
 	if strings.EqualFold(*power, "limited") {

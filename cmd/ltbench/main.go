@@ -10,6 +10,8 @@
 //	ltbench -trace out.jsonl     # instrumented run: event log + miss attribution
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
+//	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
+//	ltbench -memprofile mem.out  # write a heap profile at exit
 //
 // Output is identical for any -parallel value: experiments are independent
 // and each one runs serially, so only the wall time changes. The -workers
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"lighttrader/internal/bench"
+	"lighttrader/internal/prof"
 	"lighttrader/internal/tensor"
 )
 
@@ -37,7 +40,16 @@ func main() {
 	trace := flag.String("trace", "", "write an instrumented-run event log (JSONL) to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ltbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	tensor.SetWorkers(*workers)
 	tensor.SetBlockSize(*blocksize)

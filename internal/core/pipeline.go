@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lighttrader/internal/exchange"
+	"lighttrader/internal/latency"
 	"lighttrader/internal/lob"
 	"lighttrader/internal/nn"
 	"lighttrader/internal/offload"
 	"lighttrader/internal/sbe"
+	"lighttrader/internal/tensor"
 	"lighttrader/internal/trading"
 )
 
@@ -23,6 +26,11 @@ type Pipeline struct {
 	offl       *offload.Engine
 	trader     *trading.Engine
 
+	// predict, when set, replaces the model forward pass — the hook the
+	// tick-path benchmarks and the modelled-accelerator harnesses use to
+	// measure the conventional pipeline without running inference inline.
+	predict func(t *tensor.Tensor) (nn.Direction, float32, error)
+
 	// Local market-by-price book mirror: the HFT-side LOB of §II-A,
 	// reconstructed from incremental refresh messages.
 	bids      [lob.DepthLevels]lob.Level
@@ -33,6 +41,14 @@ type Pipeline struct {
 
 	ticks      int
 	inferences int
+
+	// ordersBuf backs the slice OnDecodedPacket returns, reused across
+	// packets so steady-state order generation does not allocate.
+	ordersBuf []exchange.Request
+
+	// lat, when set, records each OnDecodedPacket call's wall duration:
+	// the book-update → feature → decision stages of the tick path.
+	lat *latency.Histogram
 }
 
 // NewPipeline assembles the functional pipeline.
@@ -63,6 +79,18 @@ func (p *Pipeline) Symbol() string { return p.symbol }
 // tables when the serving runtime schedules this subscription).
 func (p *Pipeline) Model() *nn.Model { return p.model }
 
+// SetLatency attaches a histogram recording each OnDecodedPacket call's
+// wall-clock duration (book update through trading decision). nil detaches.
+func (p *Pipeline) SetLatency(hist *latency.Histogram) { p.lat = hist }
+
+// SetPredictor replaces the model forward pass with fn (nil restores the
+// model). The offload engine still assembles feature maps; fn receives each
+// ready input tensor in place of nn.Model.Predict — this is how the
+// tick-to-trade benchmarks model the accelerator answering off the hot path.
+func (p *Pipeline) SetPredictor(fn func(t *tensor.Tensor) (nn.Direction, float32, error)) {
+	p.predict = fn
+}
+
 // Ticks returns how many book-updating events have been processed.
 func (p *Pipeline) Ticks() int { return p.ticks }
 
@@ -88,9 +116,17 @@ func (p *Pipeline) OnPacket(buf []byte) ([]exchange.Request, error) {
 }
 
 // OnDecodedPacket processes an already-decoded packet (the arbitrated-feed
-// path, where mdclient has parsed and ordered the datagrams).
+// path, where mdclient has parsed and ordered the datagrams). The returned
+// slice is backed by the pipeline's reusable buffer: it is valid until the
+// next OnDecodedPacket/OnPacket call, and callers that keep orders longer
+// must copy them out (every in-tree caller appends into its own storage).
 func (p *Pipeline) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
-	var orders []exchange.Request
+	if p.lat != nil {
+		start := time.Now()
+		defer func() { p.lat.Record(time.Since(start).Nanoseconds()) }()
+	}
+	orders := p.ordersBuf[:0]
+	defer func() { p.ordersBuf = orders[:0] }()
 	for _, msg := range pkt.Messages {
 		switch {
 		case msg.Incremental != nil:
@@ -99,11 +135,11 @@ func (p *Pipeline) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
 			if p.applyIncremental(msg.Incremental) == 0 {
 				continue
 			}
-			reqs, err := p.onTick(int64(msg.Incremental.TransactTime))
+			var err error
+			orders, err = p.onTick(int64(msg.Incremental.TransactTime), orders)
 			if err != nil {
 				return orders, err
 			}
-			orders = append(orders, reqs...)
 		case msg.Trade != nil:
 			if msg.Trade.SecurityID == p.securityID || msg.Trade.SecurityID == 0 {
 				p.lastTrade = msg.Trade.Price
@@ -167,24 +203,34 @@ func (p *Pipeline) applySnapshot(m *sbe.SnapshotFullRefresh) {
 }
 
 // onTick pushes the post-update snapshot through offload → inference →
-// trading.
-func (p *Pipeline) onTick(timeNanos int64) ([]exchange.Request, error) {
+// trading, appending any generated orders to dst.
+func (p *Pipeline) onTick(timeNanos int64, dst []exchange.Request) ([]exchange.Request, error) {
 	p.ticks++
 	snap := p.Snapshot(timeNanos)
 	p.offl.Push(snap)
-	var orders []exchange.Request
-	for _, in := range p.offl.PopBatch(p.offl.Ready()) {
-		dir, conf, err := p.model.Predict(in.Tensor)
+	for {
+		in, ok := p.offl.Pop()
+		if !ok {
+			break
+		}
+		var dir nn.Direction
+		var conf float32
+		var err error
+		if p.predict != nil {
+			dir, conf, err = p.predict(in.Tensor)
+		} else {
+			dir, conf, err = p.model.Predict(in.Tensor)
+		}
 		p.offl.Recycle(in.Tensor) // feature map consumed; reuse its storage
 		if err != nil {
-			return orders, fmt.Errorf("core: inference: %w", err)
+			return dst, fmt.Errorf("core: inference: %w", err)
 		}
 		p.inferences++
 		if req, ok := p.trader.OnPrediction(dir, conf, snap); ok {
-			orders = append(orders, req)
+			dst = append(dst, req)
 		}
 	}
-	return orders, nil
+	return dst, nil
 }
 
 // OnExecReport feeds an execution report back to the trading engine.

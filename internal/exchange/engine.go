@@ -85,6 +85,18 @@ type Engine struct {
 	seqNum  uint32
 	now     func() int64
 	publish Publisher
+
+	// Publication scratch, reused across Submit/PublishSnapshot calls so the
+	// market-data path is allocation-free in steady state. Safe because the
+	// Publisher contract forbids retaining buf.
+	fillsBuf   []lob.Fill
+	entriesBuf []sbe.BookEntry
+	tradesBuf  []sbe.TradeSummary
+	msgsBuf    []sbe.Message
+	incBuf     sbe.IncrementalRefresh
+	snapBuf    []sbe.SnapshotEntry
+	snapMsg    sbe.SnapshotFullRefresh
+	encBuf     []byte
 }
 
 // New creates an engine. now supplies the exchange clock in nanoseconds;
@@ -143,7 +155,8 @@ func (e *Engine) Submit(req Request) []ExecReport {
 					Side: req.Side, Reason: "no liquidity", TimeNanos: now}}
 			}
 		}
-		fl, err := b.Add(req.ClOrdID, req.Side, price, req.Qty)
+		fl, err := b.AddTo(e.fillsBuf[:0], req.ClOrdID, req.Side, price, req.Qty)
+		e.fillsBuf = fl[:0]
 		if err != nil {
 			return []ExecReport{{Exec: ExecRejected, ClOrdID: req.ClOrdID, SecurityID: req.SecurityID,
 				Side: req.Side, Reason: err.Error(), TimeNanos: now}}
@@ -165,7 +178,8 @@ func (e *Engine) Submit(req Request) []ExecReport {
 		reports = append(reports, ExecReport{Exec: ExecCanceled, ClOrdID: req.ClOrdID,
 			SecurityID: req.SecurityID, TimeNanos: now})
 	case ReqReplace:
-		fl, err := b.Replace(req.ClOrdID, req.NewClOrdID, req.Price, req.Qty)
+		fl, err := b.ReplaceTo(e.fillsBuf[:0], req.ClOrdID, req.NewClOrdID, req.Price, req.Qty)
+		e.fillsBuf = fl[:0]
 		if err != nil {
 			return []ExecReport{{Exec: ExecRejected, ClOrdID: req.ClOrdID, SecurityID: req.SecurityID,
 				Reason: err.Error(), TimeNanos: now}}
@@ -202,12 +216,9 @@ func (e *Engine) marketablePrice(b *lob.Book, side lob.Side) int64 {
 // captureTop snapshots the visible levels before a mutation so the
 // market-data diff can be computed afterwards.
 func (e *Engine) captureTop(b *lob.Book) (top [2][lob.DepthLevels]lob.Level) {
-	for i, l := range b.Levels(lob.Bid, lob.DepthLevels) {
-		top[0][i] = l
-	}
-	for i, l := range b.Levels(lob.Ask, lob.DepthLevels) {
-		top[1][i] = l
-	}
+	snap := b.TakeSnapshot(0)
+	top[0] = snap.Bids
+	top[1] = snap.Asks
 	return top
 }
 
@@ -215,7 +226,7 @@ func (e *Engine) captureTop(b *lob.Book) (top [2][lob.DepthLevels]lob.Level) {
 // (market-by-price diff of the top levels) plus trade summaries.
 func (e *Engine) publishDelta(secID int32, b *lob.Book, before [2][lob.DepthLevels]lob.Level, fills []lob.Fill, now int64) {
 	after := e.captureTop(b)
-	var entries []sbe.BookEntry
+	entries := e.entriesBuf[:0]
 	for sideIdx, entryType := range []sbe.EntryType{sbe.EntryBid, sbe.EntryAsk} {
 		for lvl := 0; lvl < lob.DepthLevels; lvl++ {
 			oldL, newL := before[sideIdx][lvl], after[sideIdx][lvl]
@@ -245,16 +256,14 @@ func (e *Engine) publishDelta(secID int32, b *lob.Book, before [2][lob.DepthLeve
 			entries = append(entries, entry)
 		}
 	}
+	e.entriesBuf = entries
 	if len(entries) == 0 && len(fills) == 0 {
 		return
 	}
 	e.seqNum++
-	enc := sbe.NewPacketEncoder(e.seqNum, uint64(now))
-	if len(entries) > 0 {
-		enc.AddIncremental(&sbe.IncrementalRefresh{TransactTime: uint64(now), Entries: entries})
-	}
+	e.tradesBuf = e.tradesBuf[:0]
 	for _, f := range fills {
-		enc.AddTrade(&sbe.TradeSummary{
+		e.tradesBuf = append(e.tradesBuf, sbe.TradeSummary{
 			TransactTime: uint64(now),
 			Price:        f.Price,
 			Qty:          int32(f.Qty),
@@ -262,7 +271,17 @@ func (e *Engine) publishDelta(secID int32, b *lob.Book, before [2][lob.DepthLeve
 			AggressorBid: f.TakerSide == lob.Bid,
 		})
 	}
-	e.publish(enc.Bytes())
+	e.msgsBuf = e.msgsBuf[:0]
+	if len(entries) > 0 {
+		e.incBuf = sbe.IncrementalRefresh{TransactTime: uint64(now), Entries: entries}
+		e.msgsBuf = append(e.msgsBuf, sbe.Message{Incremental: &e.incBuf})
+	}
+	// Trade pointers are taken only after the slice stopped growing.
+	for i := range e.tradesBuf {
+		e.msgsBuf = append(e.msgsBuf, sbe.Message{Trade: &e.tradesBuf[i]})
+	}
+	e.encBuf = sbe.AppendPacket(e.encBuf[:0], e.seqNum, uint64(now), e.msgsBuf)
+	e.publish(e.encBuf)
 }
 
 // PublishSnapshot emits a full top-of-book snapshot for secID, used by the
@@ -274,30 +293,32 @@ func (e *Engine) PublishSnapshot(secID int32) error {
 	}
 	now := e.now()
 	snap := b.TakeSnapshot(now)
-	msg := &sbe.SnapshotFullRefresh{
-		TransactTime:  uint64(now),
-		LastMsgSeqNum: e.seqNum,
-		SecurityID:    secID,
-		RptSeq:        e.rptSeq[secID],
-		TotNumReports: 1,
-	}
+	e.snapBuf = e.snapBuf[:0]
 	for i := 0; i < lob.DepthLevels; i++ {
 		if snap.Bids[i].Price != 0 {
-			msg.Entries = append(msg.Entries, sbe.SnapshotEntry{
+			e.snapBuf = append(e.snapBuf, sbe.SnapshotEntry{
 				Price: snap.Bids[i].Price, Qty: int32(snap.Bids[i].Qty),
 				Level: uint8(i + 1), Entry: sbe.EntryBid,
 			})
 		}
 		if snap.Asks[i].Price != 0 {
-			msg.Entries = append(msg.Entries, sbe.SnapshotEntry{
+			e.snapBuf = append(e.snapBuf, sbe.SnapshotEntry{
 				Price: snap.Asks[i].Price, Qty: int32(snap.Asks[i].Qty),
 				Level: uint8(i + 1), Entry: sbe.EntryAsk,
 			})
 		}
 	}
+	e.snapMsg = sbe.SnapshotFullRefresh{
+		TransactTime:  uint64(now),
+		LastMsgSeqNum: e.seqNum,
+		SecurityID:    secID,
+		RptSeq:        e.rptSeq[secID],
+		TotNumReports: 1,
+		Entries:       e.snapBuf,
+	}
 	e.seqNum++
-	enc := sbe.NewPacketEncoder(e.seqNum, uint64(now))
-	enc.AddSnapshot(msg)
-	e.publish(enc.Bytes())
+	e.msgsBuf = append(e.msgsBuf[:0], sbe.Message{Snapshot: &e.snapMsg})
+	e.encBuf = sbe.AppendPacket(e.encBuf[:0], e.seqNum, uint64(now), e.msgsBuf)
+	e.publish(e.encBuf)
 	return nil
 }

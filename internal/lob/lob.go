@@ -8,6 +8,11 @@
 // Prices are integer ticks and quantities are integer lots so that book
 // arithmetic is exact; conversion to decimal happens only at the protocol
 // boundary (package sbe / orderentry).
+//
+// Internally each side is a sorted slice of levels (index 0 = top of book)
+// and resting orders live in an arena of intrusively linked nodes recycled
+// through a freelist, so steady-state Add/Cancel/Replace/match touch no
+// allocator and best-price access is a direct index instead of a map probe.
 package lob
 
 import (
@@ -79,11 +84,23 @@ var (
 	ErrBadPrice     = errors.New("lob: price must be positive")
 )
 
-// queue is the FIFO of orders resting at one price level.
-type queue struct {
-	price  int64
-	orders []*Order // arrival order; filled from the front
-	qty    int64
+// nilIdx marks an empty arena link.
+const nilIdx int32 = -1
+
+// node is one resting order in the arena, linked FIFO within its level
+// (head = oldest = first to fill).
+type node struct {
+	order      Order
+	prev, next int32
+}
+
+// level aggregates one price on one side: total quantity, order count, and
+// the FIFO of resting orders as arena indices.
+type level struct {
+	price      int64
+	qty        int64
+	count      int32
+	head, tail int32
 }
 
 // Book is a single-instrument limit order book with price-time priority.
@@ -93,15 +110,16 @@ type queue struct {
 type Book struct {
 	symbol string
 
-	bids map[int64]*queue // price -> level queue
-	asks map[int64]*queue
+	// bids are sorted descending, asks ascending: index 0 is top of book.
+	bids []level
+	asks []level
 
-	// Sorted price arrays for best-price lookup. bidPrices is descending,
-	// askPrices ascending, so index 0 is always the top of book.
-	bidPrices []int64
-	askPrices []int64
+	// arena holds every resting order; free chains recycled slots so
+	// steady-state order churn never allocates.
+	arena []node
+	free  int32
 
-	byID map[uint64]*Order
+	byID map[uint64]int32 // order id -> arena index
 
 	lastTrade int64 // last execution price, 0 until first trade
 	seq       uint64
@@ -111,9 +129,8 @@ type Book struct {
 func New(symbol string) *Book {
 	return &Book{
 		symbol: symbol,
-		bids:   make(map[int64]*queue),
-		asks:   make(map[int64]*queue),
-		byID:   make(map[uint64]*Order),
+		free:   nilIdx,
+		byID:   make(map[uint64]int32),
 	}
 }
 
@@ -127,65 +144,77 @@ func (b *Book) Seq() uint64 { return b.seq }
 // LastTrade returns the most recent execution price, or 0 if none.
 func (b *Book) LastTrade() int64 { return b.lastTrade }
 
-// side returns the map and sorted prices for s.
-func (b *Book) side(s Side) map[int64]*queue {
+// sideLevels returns the level slice for s.
+func (b *Book) sideLevels(s Side) *[]level {
 	if s == Bid {
-		return b.bids
+		return &b.bids
 	}
-	return b.asks
+	return &b.asks
 }
 
-// insertPrice records a newly populated price level in sorted order.
-func (b *Book) insertPrice(s Side, price int64) {
+// findLevel locates price on side s: the index where it is (found) or
+// where it would be inserted to keep the side sorted best-first.
+func (b *Book) findLevel(s Side, price int64) (int, bool) {
+	lv := *b.sideLevels(s)
+	var i int
 	if s == Bid {
-		i := sort.Search(len(b.bidPrices), func(i int) bool { return b.bidPrices[i] <= price })
-		if i < len(b.bidPrices) && b.bidPrices[i] == price {
-			return
-		}
-		b.bidPrices = append(b.bidPrices, 0)
-		copy(b.bidPrices[i+1:], b.bidPrices[i:])
-		b.bidPrices[i] = price
-		return
+		i = sort.Search(len(lv), func(i int) bool { return lv[i].price <= price })
+	} else {
+		i = sort.Search(len(lv), func(i int) bool { return lv[i].price >= price })
 	}
-	i := sort.Search(len(b.askPrices), func(i int) bool { return b.askPrices[i] >= price })
-	if i < len(b.askPrices) && b.askPrices[i] == price {
-		return
-	}
-	b.askPrices = append(b.askPrices, 0)
-	copy(b.askPrices[i+1:], b.askPrices[i:])
-	b.askPrices[i] = price
+	return i, i < len(lv) && lv[i].price == price
 }
 
-// removePrice drops an emptied price level.
-func (b *Book) removePrice(s Side, price int64) {
-	prices := &b.bidPrices
-	cmp := func(i int) bool { return b.bidPrices[i] <= price }
-	if s == Ask {
-		prices = &b.askPrices
-		cmp = func(i int) bool { return b.askPrices[i] >= price }
+// insertLevel opens an empty level for price at index i on side s.
+func (b *Book) insertLevel(s Side, i int, price int64) *level {
+	lv := b.sideLevels(s)
+	*lv = append(*lv, level{})
+	copy((*lv)[i+1:], (*lv)[i:])
+	(*lv)[i] = level{price: price, head: nilIdx, tail: nilIdx}
+	return &(*lv)[i]
+}
+
+// removeLevel drops the emptied level at index i on side s.
+func (b *Book) removeLevel(s Side, i int) {
+	lv := b.sideLevels(s)
+	*lv = append((*lv)[:i], (*lv)[i+1:]...)
+}
+
+// allocNode takes a slot from the freelist, growing the arena when dry.
+func (b *Book) allocNode(o Order) int32 {
+	if b.free != nilIdx {
+		idx := b.free
+		n := &b.arena[idx]
+		b.free = n.next
+		*n = node{order: o, prev: nilIdx, next: nilIdx}
+		return idx
 	}
-	i := sort.Search(len(*prices), cmp)
-	if i < len(*prices) && (*prices)[i] == price {
-		*prices = append((*prices)[:i], (*prices)[i+1:]...)
-	}
+	b.arena = append(b.arena, node{order: o, prev: nilIdx, next: nilIdx})
+	return int32(len(b.arena) - 1)
+}
+
+// freeNode returns an arena slot to the freelist.
+func (b *Book) freeNode(idx int32) {
+	b.arena[idx] = node{next: b.free}
+	b.free = idx
 }
 
 // BestBid returns the highest bid level, or false if the bid side is empty.
 func (b *Book) BestBid() (Level, bool) {
-	if len(b.bidPrices) == 0 {
+	if len(b.bids) == 0 {
 		return Level{}, false
 	}
-	q := b.bids[b.bidPrices[0]]
-	return Level{Price: q.price, Qty: q.qty, Orders: len(q.orders)}, true
+	l := &b.bids[0]
+	return Level{Price: l.price, Qty: l.qty, Orders: int(l.count)}, true
 }
 
 // BestAsk returns the lowest ask level, or false if the ask side is empty.
 func (b *Book) BestAsk() (Level, bool) {
-	if len(b.askPrices) == 0 {
+	if len(b.asks) == 0 {
 		return Level{}, false
 	}
-	q := b.asks[b.askPrices[0]]
-	return Level{Price: q.price, Qty: q.qty, Orders: len(q.orders)}, true
+	l := &b.asks[0]
+	return Level{Price: l.price, Qty: l.qty, Orders: int(l.count)}, true
 }
 
 // Mid returns the midpoint of the best bid and ask in half-ticks (price*2
@@ -213,148 +242,192 @@ func (b *Book) Spread() (int64, bool) {
 // Depth returns the number of populated price levels on side s.
 func (b *Book) Depth(s Side) int {
 	if s == Bid {
-		return len(b.bidPrices)
+		return len(b.bids)
 	}
-	return len(b.askPrices)
+	return len(b.asks)
 }
 
 // Order returns a copy of the resting order with the given id.
 func (b *Book) Order(id uint64) (Order, bool) {
-	o, ok := b.byID[id]
+	idx, ok := b.byID[id]
 	if !ok {
 		return Order{}, false
 	}
-	return *o, true
+	return b.arena[idx].order, true
 }
 
 // Add places a limit order. If the order crosses the opposite side it is
 // matched immediately (price-time priority, maker price); any remainder
 // rests. The returned fills are in execution order.
+//
+// Add allocates the fill slice it returns; allocation-sensitive callers
+// should use AddTo with a reusable destination.
 func (b *Book) Add(id uint64, side Side, price, qty int64) ([]Fill, error) {
-	if qty <= 0 {
-		return nil, ErrBadQty
-	}
-	if price <= 0 {
-		return nil, ErrBadPrice
-	}
-	if _, dup := b.byID[id]; dup {
-		return nil, ErrDuplicateID
-	}
-	b.seq++
-	fills := b.match(id, side, price, &qty)
-	if qty > 0 {
-		o := &Order{ID: id, Side: side, Price: price, Qty: qty}
-		b.byID[id] = o
-		m := b.side(side)
-		q := m[price]
-		if q == nil {
-			q = &queue{price: price}
-			m[price] = q
-			b.insertPrice(side, price)
-		}
-		q.orders = append(q.orders, o)
-		q.qty += qty
+	fills, err := b.AddTo(nil, id, side, price, qty)
+	if err != nil {
+		return nil, err
 	}
 	return fills, nil
 }
 
-// match executes an incoming order against the opposite side while prices
-// cross, decrementing *qty in place.
-func (b *Book) match(takerID uint64, side Side, price int64, qty *int64) []Fill {
-	var fills []Fill
-	opp := b.side(side.Opposite())
-	for *qty > 0 {
-		var best int64
-		if side == Bid {
-			if len(b.askPrices) == 0 || b.askPrices[0] > price {
-				break
-			}
-			best = b.askPrices[0]
+// AddTo is Add with caller-owned fill storage: fills are appended to dst
+// and the extended slice is returned (nil error ⇒ same semantics as Add).
+// With a warm dst and a recycled arena slot the call performs zero heap
+// allocations.
+func (b *Book) AddTo(dst []Fill, id uint64, side Side, price, qty int64) ([]Fill, error) {
+	if qty <= 0 {
+		return dst, ErrBadQty
+	}
+	if price <= 0 {
+		return dst, ErrBadPrice
+	}
+	if _, dup := b.byID[id]; dup {
+		return dst, ErrDuplicateID
+	}
+	b.seq++
+	dst = b.match(dst, id, side, price, &qty)
+	if qty > 0 {
+		idx := b.allocNode(Order{ID: id, Side: side, Price: price, Qty: qty})
+		b.byID[id] = idx
+		li, found := b.findLevel(side, price)
+		var l *level
+		if found {
+			l = &(*b.sideLevels(side))[li]
 		} else {
-			if len(b.bidPrices) == 0 || b.bidPrices[0] < price {
+			l = b.insertLevel(side, li, price)
+		}
+		n := &b.arena[idx]
+		n.prev = l.tail
+		if l.tail != nilIdx {
+			b.arena[l.tail].next = idx
+		} else {
+			l.head = idx
+		}
+		l.tail = idx
+		l.count++
+		l.qty += qty
+	}
+	return dst, nil
+}
+
+// match executes an incoming order against the opposite side while prices
+// cross, decrementing *qty in place and appending fills to dst.
+func (b *Book) match(dst []Fill, takerID uint64, side Side, price int64, qty *int64) []Fill {
+	opp := b.sideLevels(side.Opposite())
+	for *qty > 0 && len(*opp) > 0 {
+		l := &(*opp)[0]
+		if side == Bid {
+			if l.price > price {
 				break
 			}
-			best = b.bidPrices[0]
+		} else if l.price < price {
+			break
 		}
-		q := opp[best]
-		for *qty > 0 && len(q.orders) > 0 {
-			maker := q.orders[0]
-			ex := maker.Qty
+		best := l.price
+		for *qty > 0 && l.count > 0 {
+			makerIdx := l.head
+			maker := &b.arena[makerIdx]
+			ex := maker.order.Qty
 			if *qty < ex {
 				ex = *qty
 			}
-			maker.Qty -= ex
-			q.qty -= ex
+			maker.order.Qty -= ex
+			l.qty -= ex
 			*qty -= ex
 			b.lastTrade = best
-			fills = append(fills, Fill{
-				MakerID: maker.ID, TakerID: takerID,
+			dst = append(dst, Fill{
+				MakerID: maker.order.ID, TakerID: takerID,
 				Price: best, Qty: ex, TakerSide: side,
 			})
-			if maker.Qty == 0 {
-				q.orders = q.orders[1:]
-				delete(b.byID, maker.ID)
+			if maker.order.Qty == 0 {
+				l.head = maker.next
+				if l.head != nilIdx {
+					b.arena[l.head].prev = nilIdx
+				} else {
+					l.tail = nilIdx
+				}
+				l.count--
+				delete(b.byID, maker.order.ID)
+				b.freeNode(makerIdx)
 			}
 		}
-		if len(q.orders) == 0 {
-			delete(opp, best)
-			b.removePrice(side.Opposite(), best)
+		if l.count == 0 {
+			b.removeLevel(side.Opposite(), 0)
 		}
 	}
-	return fills
+	return dst
 }
 
 // Cancel removes a resting order.
 func (b *Book) Cancel(id uint64) error {
-	o, ok := b.byID[id]
+	idx, ok := b.byID[id]
 	if !ok {
 		return ErrUnknownOrder
 	}
 	b.seq++
-	b.unlink(o)
+	b.unlink(idx)
 	return nil
 }
 
-// unlink removes o from its level queue and the id index.
-func (b *Book) unlink(o *Order) {
-	m := b.side(o.Side)
-	q := m[o.Price]
-	for i, r := range q.orders {
-		if r.ID == o.ID {
-			q.orders = append(q.orders[:i], q.orders[i+1:]...)
-			break
-		}
+// unlink removes the order at arena index idx from its level queue and the
+// id index, recycling its slot.
+func (b *Book) unlink(idx int32) {
+	n := &b.arena[idx]
+	side, price := n.order.Side, n.order.Price
+	li, _ := b.findLevel(side, price)
+	l := &(*b.sideLevels(side))[li]
+	if n.prev != nilIdx {
+		b.arena[n.prev].next = n.next
+	} else {
+		l.head = n.next
 	}
-	q.qty -= o.Qty
-	if len(q.orders) == 0 {
-		delete(m, o.Price)
-		b.removePrice(o.Side, o.Price)
+	if n.next != nilIdx {
+		b.arena[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
 	}
-	delete(b.byID, o.ID)
+	l.count--
+	l.qty -= n.order.Qty
+	if l.count == 0 {
+		b.removeLevel(side, li)
+	}
+	delete(b.byID, n.order.ID)
+	b.freeNode(idx)
 }
 
 // Replace atomically cancels id and places a new order with newID at the new
 // price/qty, losing time priority (CME semantics for price or qty-up
 // changes). It returns any fills produced by the replacement order.
+//
+// Like Add, it allocates the returned fills; use ReplaceTo on hot paths.
 func (b *Book) Replace(id, newID uint64, price, qty int64) ([]Fill, error) {
-	o, ok := b.byID[id]
+	fills, err := b.ReplaceTo(nil, id, newID, price, qty)
+	if err != nil {
+		return nil, err
+	}
+	return fills, nil
+}
+
+// ReplaceTo is Replace with caller-owned fill storage, appending to dst.
+func (b *Book) ReplaceTo(dst []Fill, id, newID uint64, price, qty int64) ([]Fill, error) {
+	idx, ok := b.byID[id]
 	if !ok {
-		return nil, ErrUnknownOrder
+		return dst, ErrUnknownOrder
 	}
 	if qty <= 0 {
-		return nil, ErrBadQty
+		return dst, ErrBadQty
 	}
 	if price <= 0 {
-		return nil, ErrBadPrice
+		return dst, ErrBadPrice
 	}
 	if _, dup := b.byID[newID]; dup && newID != id {
-		return nil, ErrDuplicateID
+		return dst, ErrDuplicateID
 	}
-	side := o.Side
+	side := b.arena[idx].order.Side
 	b.seq++
-	b.unlink(o)
-	b.seq-- // Add below will bump it; count replace as one mutation
-	return b.Add(newID, side, price, qty)
+	b.unlink(idx)
+	b.seq-- // AddTo below will bump it; count replace as one mutation
+	return b.AddTo(dst, newID, side, price, qty)
 }
 
 // Reduce decreases the remaining quantity of a resting order in place,
@@ -364,38 +437,43 @@ func (b *Book) Reduce(id uint64, by int64) error {
 	if by <= 0 {
 		return ErrBadQty
 	}
-	o, ok := b.byID[id]
+	idx, ok := b.byID[id]
 	if !ok {
 		return ErrUnknownOrder
 	}
 	b.seq++
-	if by >= o.Qty {
-		b.unlink(o)
+	n := &b.arena[idx]
+	if by >= n.order.Qty {
+		b.unlink(idx)
 		return nil
 	}
-	o.Qty -= by
-	b.side(o.Side)[o.Price].qty -= by
+	n.order.Qty -= by
+	li, _ := b.findLevel(n.order.Side, n.order.Price)
+	(*b.sideLevels(n.order.Side))[li].qty -= by
 	return nil
 }
 
 // Levels returns up to n aggregated levels from the top of side s, best
-// first.
+// first. It allocates the result; AppendLevels is the reusable-storage form.
 func (b *Book) Levels(s Side, n int) []Level {
-	prices := b.bidPrices
-	m := b.bids
-	if s == Ask {
-		prices = b.askPrices
-		m = b.asks
+	lv := *b.sideLevels(s)
+	if n > len(lv) {
+		n = len(lv)
 	}
-	if n > len(prices) {
-		n = len(prices)
+	return b.AppendLevels(make([]Level, 0, n), s, n)
+}
+
+// AppendLevels appends up to n aggregated levels from the top of side s,
+// best first, to dst and returns the extended slice.
+func (b *Book) AppendLevels(dst []Level, s Side, n int) []Level {
+	lv := *b.sideLevels(s)
+	if n > len(lv) {
+		n = len(lv)
 	}
-	out := make([]Level, 0, n)
-	for _, p := range prices[:n] {
-		q := m[p]
-		out = append(out, Level{Price: p, Qty: q.qty, Orders: len(q.orders)})
+	for i := 0; i < n; i++ {
+		dst = append(dst, Level{Price: lv[i].price, Qty: lv[i].qty, Orders: int(lv[i].count)})
 	}
-	return out
+	return dst
 }
 
 // CheckInvariants verifies internal consistency; it is used by tests and the
@@ -403,53 +481,79 @@ func (b *Book) Levels(s Side, n int) []Level {
 // violation found.
 func (b *Book) CheckInvariants() error {
 	// Book must not be crossed.
-	if len(b.bidPrices) > 0 && len(b.askPrices) > 0 && b.bidPrices[0] >= b.askPrices[0] {
-		return fmt.Errorf("lob: crossed book bid %d >= ask %d", b.bidPrices[0], b.askPrices[0])
+	if len(b.bids) > 0 && len(b.asks) > 0 && b.bids[0].price >= b.asks[0].price {
+		return fmt.Errorf("lob: crossed book bid %d >= ask %d", b.bids[0].price, b.asks[0].price)
 	}
-	// Sorted price arrays must match the maps exactly.
-	for i := 1; i < len(b.bidPrices); i++ {
-		if b.bidPrices[i-1] <= b.bidPrices[i] {
+	// Sides must be sorted strictly best-first.
+	for i := 1; i < len(b.bids); i++ {
+		if b.bids[i-1].price <= b.bids[i].price {
 			return fmt.Errorf("lob: bid prices not strictly descending at %d", i)
 		}
 	}
-	for i := 1; i < len(b.askPrices); i++ {
-		if b.askPrices[i-1] >= b.askPrices[i] {
+	for i := 1; i < len(b.asks); i++ {
+		if b.asks[i-1].price >= b.asks[i].price {
 			return fmt.Errorf("lob: ask prices not strictly ascending at %d", i)
 		}
 	}
-	if len(b.bidPrices) != len(b.bids) || len(b.askPrices) != len(b.asks) {
-		return fmt.Errorf("lob: price index size mismatch")
-	}
 	count := 0
-	for side, m := range map[Side]map[int64]*queue{Bid: b.bids, Ask: b.asks} {
-		for p, q := range m {
-			if q.price != p {
-				return fmt.Errorf("lob: level keyed %d holds price %d", p, q.price)
+	for _, side := range []Side{Bid, Ask} {
+		for li := range *b.sideLevels(side) {
+			l := &(*b.sideLevels(side))[li]
+			if l.price <= 0 {
+				return fmt.Errorf("lob: level with non-positive price %d", l.price)
 			}
-			if len(q.orders) == 0 {
-				return fmt.Errorf("lob: empty level %d retained", p)
+			if l.count == 0 {
+				return fmt.Errorf("lob: empty level %d retained", l.price)
 			}
 			var sum int64
-			for _, o := range q.orders {
-				if o.Side != side {
-					return fmt.Errorf("lob: order %d on wrong side", o.ID)
+			var walked int32
+			prev := nilIdx
+			for idx := l.head; idx != nilIdx; idx = b.arena[idx].next {
+				n := &b.arena[idx]
+				if n.prev != prev {
+					return fmt.Errorf("lob: order %d broken back-link", n.order.ID)
 				}
-				if o.Qty <= 0 {
-					return fmt.Errorf("lob: order %d non-positive qty %d", o.ID, o.Qty)
+				if n.order.Side != side {
+					return fmt.Errorf("lob: order %d on wrong side", n.order.ID)
 				}
-				if b.byID[o.ID] != o {
-					return fmt.Errorf("lob: order %d not indexed", o.ID)
+				if n.order.Price != l.price {
+					return fmt.Errorf("lob: order %d price %d on level %d", n.order.ID, n.order.Price, l.price)
 				}
-				sum += o.Qty
-				count++
+				if n.order.Qty <= 0 {
+					return fmt.Errorf("lob: order %d non-positive qty %d", n.order.ID, n.order.Qty)
+				}
+				if got, ok := b.byID[n.order.ID]; !ok || got != idx {
+					return fmt.Errorf("lob: order %d not indexed", n.order.ID)
+				}
+				sum += n.order.Qty
+				walked++
+				prev = idx
 			}
-			if sum != q.qty {
-				return fmt.Errorf("lob: level %d qty %d != sum %d", p, q.qty, sum)
+			if prev != l.tail {
+				return fmt.Errorf("lob: level %d tail mismatch", l.price)
 			}
+			if walked != l.count {
+				return fmt.Errorf("lob: level %d count %d != walked %d", l.price, l.count, walked)
+			}
+			if sum != l.qty {
+				return fmt.Errorf("lob: level %d qty %d != sum %d", l.price, l.qty, sum)
+			}
+			count += int(walked)
 		}
 	}
 	if count != len(b.byID) {
 		return fmt.Errorf("lob: id index holds %d orders, book holds %d", len(b.byID), count)
+	}
+	// The freelist must be acyclic and disjoint from resting orders.
+	seen := 0
+	for idx := b.free; idx != nilIdx; idx = b.arena[idx].next {
+		seen++
+		if seen > len(b.arena) {
+			return fmt.Errorf("lob: freelist cycle")
+		}
+	}
+	if seen+count != len(b.arena) {
+		return fmt.Errorf("lob: arena %d != resting %d + free %d", len(b.arena), count, seen)
 	}
 	return nil
 }

@@ -19,14 +19,17 @@ type Snapshot struct {
 
 // TakeSnapshot captures the current top DepthLevels levels of the book.
 // timeNanos is the event timestamp assigned by the caller (exchange clock in
-// simulation, wall clock on a live feed).
+// simulation, wall clock on a live feed). The fixed-size result is filled
+// directly from the sorted level arrays — no allocation.
 func (b *Book) TakeSnapshot(timeNanos int64) Snapshot {
 	s := Snapshot{Symbol: b.symbol, Seq: b.seq, TimeNanos: timeNanos, LastTrade: b.lastTrade}
-	for i, l := range b.Levels(Bid, DepthLevels) {
-		s.Bids[i] = l
+	for i := 0; i < DepthLevels && i < len(b.bids); i++ {
+		l := &b.bids[i]
+		s.Bids[i] = Level{Price: l.price, Qty: l.qty, Orders: int(l.count)}
 	}
-	for i, l := range b.Levels(Ask, DepthLevels) {
-		s.Asks[i] = l
+	for i := 0; i < DepthLevels && i < len(b.asks); i++ {
+		l := &b.asks[i]
+		s.Asks[i] = Level{Price: l.price, Qty: l.qty, Orders: int(l.count)}
 	}
 	return s
 }

@@ -26,6 +26,12 @@ type Stats struct {
 // Arbiter merges redundant datagram streams into one in-order packet
 // stream. It is not safe for concurrent use; callers funnel both feeds
 // into one goroutine (as the FPGA's single ingress pipeline does).
+//
+// The arbiter owns all decode storage: the Packet passed to deliver is
+// valid only until deliver returns. Consumers that retain packets past the
+// callback (queueing runtimes) must deep-copy them with sbe.ClonePacket.
+// In exchange the steady-state in-order path performs zero heap
+// allocations per datagram.
 type Arbiter struct {
 	deliver func(sbe.Packet)
 
@@ -33,12 +39,25 @@ type Arbiter struct {
 	synced     bool
 	recovering bool
 
+	// live is the decode target for the common in-order path; its contents
+	// are overwritten by every datagram.
+	live sbe.PacketBuffer
 	// pending parks packets ahead of the expected sequence, keyed by seq.
-	pending map[uint32]sbe.Packet
+	// Each parked packet owns its storage (a buffer from the freelist), so
+	// it survives however many live decodes happen before its hole fills.
+	pending map[uint32]*parkedPacket
+	// free recycles parked-packet buffers; it never exceeds maxPending.
+	free []*parkedPacket
 	// maxPending bounds the reorder buffer; exceeding it declares a gap.
 	maxPending int
 
 	stats Stats
+}
+
+// parkedPacket is one out-of-order packet with its own backing storage.
+type parkedPacket struct {
+	pb  sbe.PacketBuffer
+	pkt sbe.Packet
 }
 
 // ErrBadDatagram wraps datagram decode failures.
@@ -55,9 +74,25 @@ func New(deliver func(sbe.Packet), maxPending int) *Arbiter {
 	}
 	return &Arbiter{
 		deliver:    deliver,
-		pending:    make(map[uint32]sbe.Packet),
+		pending:    make(map[uint32]*parkedPacket),
 		maxPending: maxPending,
 	}
+}
+
+// getParked pops a recycled parked-packet buffer or makes a new one.
+func (a *Arbiter) getParked() *parkedPacket {
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free = a.free[:n-1]
+		return p
+	}
+	return &parkedPacket{}
+}
+
+// putParked returns a parked packet's storage to the freelist.
+func (a *Arbiter) putParked(p *parkedPacket) {
+	p.pkt = sbe.Packet{}
+	a.free = append(a.free, p)
 }
 
 // Stats returns arbitration counters.
@@ -67,18 +102,28 @@ func (a *Arbiter) Stats() Stats { return a.stats }
 // for a snapshot.
 func (a *Arbiter) Recovering() bool { return a.recovering }
 
-// OnDatagram ingests one datagram from either feed.
+// OnDatagram ingests one datagram from either feed. buf is not retained.
 func (a *Arbiter) OnDatagram(buf []byte) error {
-	pkt, err := sbe.DecodePacket(buf)
+	pkt, err := sbe.DecodePacketInto(buf, &a.live)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadDatagram, err)
 	}
-	a.onPacket(pkt)
+	a.onPacket(pkt, buf)
 	return nil
 }
 
-// onPacket applies arbitration rules to a decoded packet.
-func (a *Arbiter) onPacket(pkt sbe.Packet) {
+// park re-decodes buf into owned storage and indexes it by sequence, so the
+// parked packet survives the live buffer's reuse.
+func (a *Arbiter) park(seq uint32, buf []byte) {
+	p := a.getParked()
+	p.pkt, _ = sbe.DecodePacketInto(buf, &p.pb) // buf already decoded once; cannot fail
+	a.pending[seq] = p
+	a.stats.Buffered++
+}
+
+// onPacket applies arbitration rules to a decoded packet. buf is the raw
+// datagram, needed when the packet must be parked into owned storage.
+func (a *Arbiter) onPacket(pkt sbe.Packet, buf []byte) {
 	// A snapshot resynchronises regardless of state: expected sequence
 	// becomes the snapshot's LastMsgSeqNum+1.
 	if snap := findSnapshot(pkt); snap != nil {
@@ -139,13 +184,11 @@ func (a *Arbiter) onPacket(pkt sbe.Packet) {
 		if a.recovering {
 			// Buffer while waiting for the snapshot, bounded.
 			if len(a.pending) < a.maxPending {
-				a.pending[pkt.SeqNum] = pkt
-				a.stats.Buffered++
+				a.park(pkt.SeqNum, buf)
 			}
 			return
 		}
-		a.pending[pkt.SeqNum] = pkt
-		a.stats.Buffered++
+		a.park(pkt.SeqNum, buf)
 		if len(a.pending) >= a.maxPending {
 			// The missing packet is not coming: declare a gap and wait
 			// for snapshot recovery.
@@ -155,17 +198,19 @@ func (a *Arbiter) onPacket(pkt sbe.Packet) {
 	}
 }
 
-// drainPending delivers consecutively buffered packets.
+// drainPending delivers consecutively buffered packets, recycling their
+// storage as each is handed off.
 func (a *Arbiter) drainPending() {
 	for {
-		pkt, ok := a.pending[a.nextSeq]
+		p, ok := a.pending[a.nextSeq]
 		if !ok {
 			break
 		}
 		delete(a.pending, a.nextSeq)
 		a.nextSeq++
 		a.stats.Delivered++
-		a.deliver(pkt)
+		a.deliver(p.pkt)
+		a.putParked(p)
 	}
 	// Drop stale entries below the watermark (superseded by recovery).
 	if len(a.pending) > 0 {
@@ -177,6 +222,7 @@ func (a *Arbiter) drainPending() {
 		}
 		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
 		for _, seq := range stale {
+			a.putParked(a.pending[seq])
 			delete(a.pending, seq)
 			a.stats.Duplicates++
 		}

@@ -69,14 +69,22 @@ type InputTensor struct {
 // Engine assembles feature maps tick by tick.
 type Engine struct {
 	norm Normalizer
-	// ring holds the most recent Window normalised feature vectors.
-	ring  [][nn.Features]float32
-	head  int
+	// ring stores the most recent Window feature vectors doubled: every
+	// vector is written at slot h and h+Window, so the current window is
+	// always the contiguous run ring[head·F : (head+Window)·F] oldest row
+	// first, and buildTensor is a single memcpy instead of Window wrapped
+	// row copies.
+	ring  []float32 // flat, 2·Window·Features
+	head  int       // next write slot, in [0, Window)
 	count int
-	// pending holds ready tensors awaiting offload (the FIFO of Fig. 5).
-	pending []InputTensor
-	maxPend int
-	dropped int
+	// pending is the ready-tensor FIFO of Fig. 5, a fixed circular buffer:
+	// pushes and pops move indices instead of reslicing, so the steady
+	// state touches no allocator.
+	pending  []InputTensor // cap maxPend, allocated once
+	pendHead int
+	pendLen  int
+	maxPend  int
+	dropped  int
 	// free is the stale-tensor freelist: retired feature maps (consumed by
 	// inference or evicted as stale) are reused by buildTensor, so
 	// steady-state feature-map generation allocates nothing.
@@ -91,7 +99,8 @@ func NewEngine(norm Normalizer, maxPending int) *Engine {
 	}
 	return &Engine{
 		norm:    norm,
-		ring:    make([][nn.Features]float32, nn.Window),
+		ring:    make([]float32, 2*nn.Window*nn.Features),
+		pending: make([]InputTensor, maxPending),
 		maxPend: maxPending,
 	}
 }
@@ -102,28 +111,34 @@ func NewEngine(norm Normalizer, maxPending int) *Engine {
 func (e *Engine) Push(snap lob.Snapshot) {
 	raw := snap.Features()
 	e.norm.Apply(&raw)
-	var vec [nn.Features]float32
+	const f = nn.Features
+	row := e.ring[e.head*f : (e.head+1)*f : (e.head+1)*f]
+	alt := e.ring[(e.head+nn.Window)*f : (e.head+nn.Window+1)*f]
 	for j, v := range raw {
-		vec[j] = tensor.RoundBF16(float32(v))
+		bf := tensor.RoundBF16(float32(v))
+		row[j] = bf
+		alt[j] = bf
 	}
-	e.ring[e.head] = vec
-	e.head = (e.head + 1) % nn.Window
+	e.head++
+	if e.head == nn.Window {
+		e.head = 0
+	}
 	if e.count < nn.Window {
 		e.count++
 	}
 	if e.count < nn.Window {
 		return
 	}
-	if len(e.pending) >= e.maxPend {
-		e.Recycle(e.pending[0].Tensor)
-		e.pending = e.pending[1:]
+	if e.pendLen == e.maxPend {
+		e.Recycle(e.popFront().Tensor)
 		e.dropped++
 	}
-	e.pending = append(e.pending, InputTensor{TimeNanos: snap.TimeNanos, Tensor: e.buildTensor()})
+	e.pushBack(InputTensor{TimeNanos: snap.TimeNanos, Tensor: e.buildTensor()})
 }
 
-// buildTensor copies the ring, oldest row first, into a model input,
-// reusing a recycled tensor when one is available.
+// buildTensor copies the current window — one contiguous run of the
+// doubled ring — into a model input, reusing a recycled tensor when one is
+// available.
 func (e *Engine) buildTensor() *tensor.Tensor {
 	var t *tensor.Tensor
 	if n := len(e.free); n > 0 {
@@ -133,43 +148,71 @@ func (e *Engine) buildTensor() *tensor.Tensor {
 	} else {
 		t = tensor.New(1, nn.Window, nn.Features)
 	}
-	data := t.Data()
-	for i := 0; i < nn.Window; i++ {
-		src := e.ring[(e.head+i)%nn.Window]
-		copy(data[i*nn.Features:(i+1)*nn.Features], src[:])
-	}
+	copy(t.Data(), e.ring[e.head*nn.Features:(e.head+nn.Window)*nn.Features])
 	return t
 }
 
+// pushBack appends to the circular pending FIFO (caller ensures room).
+func (e *Engine) pushBack(in InputTensor) {
+	i := e.pendHead + e.pendLen
+	if i >= e.maxPend {
+		i -= e.maxPend
+	}
+	e.pending[i] = in
+	e.pendLen++
+}
+
+// popFront removes the oldest pending tensor (caller ensures non-empty).
+func (e *Engine) popFront() InputTensor {
+	in := e.pending[e.pendHead]
+	e.pending[e.pendHead] = InputTensor{}
+	e.pendHead++
+	if e.pendHead == e.maxPend {
+		e.pendHead = 0
+	}
+	e.pendLen--
+	return in
+}
+
 // Ready returns the number of pending input tensors.
-func (e *Engine) Ready() int { return len(e.pending) }
+func (e *Engine) Ready() int { return e.pendLen }
+
+// Pop removes and returns the oldest pending tensor without allocating;
+// ok is false when none is ready. This is the hot-path form of PopBatch.
+func (e *Engine) Pop() (in InputTensor, ok bool) {
+	if e.pendLen == 0 {
+		return InputTensor{}, false
+	}
+	return e.popFront(), true
+}
 
 // Dropped returns how many stale tensors were evicted since construction.
 func (e *Engine) Dropped() int { return e.dropped }
 
 // PopBatch removes and returns up to n pending tensors, oldest first —
-// the DMA hand-off to an accelerator.
+// the DMA hand-off to an accelerator. It allocates the returned slice;
+// allocation-sensitive callers should drain with Pop instead.
 func (e *Engine) PopBatch(n int) []InputTensor {
-	if n > len(e.pending) {
-		n = len(e.pending)
+	if n > e.pendLen {
+		n = e.pendLen
 	}
 	batch := make([]InputTensor, n)
-	copy(batch, e.pending[:n])
-	e.pending = e.pending[n:]
+	for i := range batch {
+		batch[i] = e.popFront()
+	}
 	return batch
 }
 
 // EvictOlderThan drops pending tensors created before cutoff (stale-tensor
 // management for deadline-expired feature maps), returning the count.
 func (e *Engine) EvictOlderThan(cutoff int64) int {
-	i := 0
-	for i < len(e.pending) && e.pending[i].TimeNanos < cutoff {
-		e.Recycle(e.pending[i].Tensor)
-		i++
+	n := 0
+	for e.pendLen > 0 && e.pending[e.pendHead].TimeNanos < cutoff {
+		e.Recycle(e.popFront().Tensor)
+		n++
 	}
-	e.pending = e.pending[i:]
-	e.dropped += i
-	return i
+	e.dropped += n
+	return n
 }
 
 // Recycle returns a feature-map tensor to the engine's freelist once the
@@ -189,5 +232,5 @@ func (e *Engine) Warm() bool { return e.count >= nn.Window }
 // String summarises engine state for diagnostics.
 func (e *Engine) String() string {
 	return fmt.Sprintf("offload{window %d/%d, pending %d, dropped %d}",
-		e.count, nn.Window, len(e.pending), e.dropped)
+		e.count, nn.Window, e.pendLen, e.dropped)
 }

@@ -1,0 +1,48 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the repo's commands so tick-path hot spots can be inspected with
+// `go tool pprof` against a real run (back-test, serving sweep, or the
+// experiment harness) rather than only against micro-benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two (possibly empty) file paths and
+// returns a stop function to run at exit. An empty path disables that
+// profile. The stop function ends the CPU profile and writes the heap
+// profile (after a GC, so it reflects live objects, not garbage).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+			}
+		}
+	}, nil
+}

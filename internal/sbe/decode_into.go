@@ -1,0 +1,278 @@
+package sbe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the allocation-free twin of the decoders in sbe.go and
+// packet.go: DecodePacketInto parses a datagram into caller-owned backing
+// storage (a PacketBuffer) so the steady-state wire path performs zero heap
+// allocations per packet. The legacy DecodePacket/DecodeMessage entry
+// points are retained unchanged; the differential fuzz target and parity
+// tests pin the two paths byte-identical (same packets, same errors).
+
+// msgKind tags one decoded message's payload union inside a PacketBuffer.
+type msgKind uint8
+
+const (
+	kindIncremental msgKind = iota
+	kindTrade
+	kindSnapshot
+)
+
+// msgRef locates one decoded message's storage: the typed-slice index and,
+// for group-bearing messages, the entry range inside the shared entry
+// arrays. Pointers are materialised only after the whole packet has been
+// decoded, when the backing slices can no longer grow.
+type msgRef struct {
+	kind   msgKind
+	idx    int
+	lo, hi int
+}
+
+// PacketBuffer owns reusable decode storage for DecodePacketInto. The zero
+// value is ready to use; capacity grows to the high-water mark of the
+// stream and is then reused, so steady-state decoding allocates nothing.
+//
+// A PacketBuffer is not safe for concurrent use, and a Packet decoded into
+// it aliases its storage: the Packet (and everything reachable from it) is
+// valid only until the next DecodePacketInto call with the same buffer.
+type PacketBuffer struct {
+	msgs        []Message
+	refs        []msgRef
+	incs        []IncrementalRefresh
+	trades      []TradeSummary
+	snaps       []SnapshotFullRefresh
+	bookEntries []BookEntry
+	snapEntries []SnapshotEntry
+}
+
+// reset empties the buffer for the next packet, keeping capacity.
+func (pb *PacketBuffer) reset() {
+	pb.msgs = pb.msgs[:0]
+	pb.refs = pb.refs[:0]
+	pb.incs = pb.incs[:0]
+	pb.trades = pb.trades[:0]
+	pb.snaps = pb.snaps[:0]
+	pb.bookEntries = pb.bookEntries[:0]
+	pb.snapEntries = pb.snapEntries[:0]
+}
+
+// DecodePacketInto parses a complete market-data datagram into pb's
+// storage, returning a Packet that aliases pb. It accepts and rejects
+// exactly the same inputs as DecodePacket, with identical errors; the only
+// difference is buffer ownership. On error pb's contents are unspecified
+// (but remain reusable).
+func DecodePacketInto(buf []byte, pb *PacketBuffer) (Packet, error) {
+	pb.reset()
+	if len(buf) < PacketHeaderLen {
+		return Packet{}, ErrShortBuffer
+	}
+	pkt := Packet{
+		SeqNum:      binary.LittleEndian.Uint32(buf[0:]),
+		SendingTime: binary.LittleEndian.Uint64(buf[4:]),
+	}
+	off := PacketHeaderLen
+	for off < len(buf) {
+		if len(buf)-off < msgSizeLen {
+			return Packet{}, ErrShortBuffer
+		}
+		size := int(binary.LittleEndian.Uint16(buf[off:]))
+		if size < msgSizeLen || off+size > len(buf) {
+			return Packet{}, fmt.Errorf("sbe: bad message size %d at offset %d", size, off)
+		}
+		n, err := decodeMessageInto(buf[off+msgSizeLen:off+size], pb)
+		if err != nil {
+			return Packet{}, err
+		}
+		if n != size-msgSizeLen {
+			return Packet{}, fmt.Errorf("sbe: message consumed %d of %d framed bytes", n, size-msgSizeLen)
+		}
+		off += size
+	}
+	// Materialise the Message pointers only now: the typed slices are at
+	// their final length, so the pointers and entry sub-slices are stable.
+	for _, r := range pb.refs {
+		switch r.kind {
+		case kindIncremental:
+			m := &pb.incs[r.idx]
+			m.Entries = pb.bookEntries[r.lo:r.hi]
+			pb.msgs = append(pb.msgs, Message{Incremental: m})
+		case kindTrade:
+			pb.msgs = append(pb.msgs, Message{Trade: &pb.trades[r.idx]})
+		case kindSnapshot:
+			m := &pb.snaps[r.idx]
+			m.Entries = pb.snapEntries[r.lo:r.hi]
+			pb.msgs = append(pb.msgs, Message{Snapshot: m})
+		}
+	}
+	if len(pb.msgs) > 0 {
+		pkt.Messages = pb.msgs
+	}
+	return pkt, nil
+}
+
+// ClonePacket deep-copies a packet into freshly allocated storage. Use it
+// when retaining a packet beyond its producer's validity window — e.g. a
+// queueing runtime holding on to packets an arbiter delivered out of its
+// reusable buffer.
+func ClonePacket(pkt Packet) Packet {
+	if len(pkt.Messages) == 0 {
+		return pkt
+	}
+	out := Packet{
+		SeqNum:      pkt.SeqNum,
+		SendingTime: pkt.SendingTime,
+		Messages:    make([]Message, len(pkt.Messages)),
+	}
+	for i, m := range pkt.Messages {
+		switch {
+		case m.Incremental != nil:
+			inc := *m.Incremental
+			inc.Entries = append([]BookEntry(nil), inc.Entries...)
+			out.Messages[i].Incremental = &inc
+		case m.Trade != nil:
+			tr := *m.Trade
+			out.Messages[i].Trade = &tr
+		case m.Snapshot != nil:
+			sn := *m.Snapshot
+			sn.Entries = append([]SnapshotEntry(nil), sn.Entries...)
+			out.Messages[i].Snapshot = &sn
+		}
+	}
+	return out
+}
+
+// decodeMessageInto decodes one SBE message into pb, mirroring
+// DecodeMessage check for check so the two paths fail identically.
+func decodeMessageInto(buf []byte, pb *PacketBuffer) (int, error) {
+	if len(buf) < messageHeaderLen {
+		return 0, ErrShortBuffer
+	}
+	blockLen := int(binary.LittleEndian.Uint16(buf[0:]))
+	template := binary.LittleEndian.Uint16(buf[2:])
+	schema := binary.LittleEndian.Uint16(buf[4:])
+	if schema != SchemaID {
+		return 0, fmt.Errorf("%w: %d", ErrBadSchema, schema)
+	}
+	body := buf[messageHeaderLen:]
+	if len(body) < blockLen {
+		return 0, ErrShortBuffer
+	}
+	n := messageHeaderLen + blockLen
+	switch template {
+	case TemplateIncrementalRefreshBook:
+		if blockLen < incrementalBlockLen {
+			return 0, fmt.Errorf("sbe: incremental block length %d too small", blockLen)
+		}
+		lo := len(pb.bookEntries)
+		g, err := decodeBookGroupInto(buf[n:], pb)
+		if err != nil {
+			return 0, err
+		}
+		pb.incs = append(pb.incs, IncrementalRefresh{
+			TransactTime: binary.LittleEndian.Uint64(body[0:]),
+		})
+		pb.refs = append(pb.refs, msgRef{
+			kind: kindIncremental, idx: len(pb.incs) - 1,
+			lo: lo, hi: len(pb.bookEntries),
+		})
+		return n + g, nil
+	case TemplateTradeSummary:
+		if blockLen < tradeBlockLen {
+			return 0, fmt.Errorf("sbe: trade block length %d too small", blockLen)
+		}
+		pb.trades = append(pb.trades, TradeSummary{
+			TransactTime: binary.LittleEndian.Uint64(body[0:]),
+			Price:        int64(binary.LittleEndian.Uint64(body[8:])),
+			Qty:          int32(binary.LittleEndian.Uint32(body[16:])),
+			SecurityID:   int32(binary.LittleEndian.Uint32(body[20:])),
+			AggressorBid: body[24] == 1,
+		})
+		pb.refs = append(pb.refs, msgRef{kind: kindTrade, idx: len(pb.trades) - 1})
+		return n, nil
+	case TemplateSnapshotFullRefresh:
+		if blockLen < snapshotBlockLen {
+			return 0, fmt.Errorf("sbe: snapshot block length %d too small", blockLen)
+		}
+		lo := len(pb.snapEntries)
+		g, err := decodeSnapshotGroupInto(buf[n:], pb)
+		if err != nil {
+			return 0, err
+		}
+		pb.snaps = append(pb.snaps, SnapshotFullRefresh{
+			TransactTime:  binary.LittleEndian.Uint64(body[0:]),
+			LastMsgSeqNum: binary.LittleEndian.Uint32(body[8:]),
+			SecurityID:    int32(binary.LittleEndian.Uint32(body[12:])),
+			RptSeq:        binary.LittleEndian.Uint32(body[16:]),
+			TotNumReports: binary.LittleEndian.Uint32(body[20:]),
+		})
+		pb.refs = append(pb.refs, msgRef{
+			kind: kindSnapshot, idx: len(pb.snaps) - 1,
+			lo: lo, hi: len(pb.snapEntries),
+		})
+		return n + g, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownTemplate, template)
+	}
+}
+
+// decodeBookGroupInto appends the group's entries to pb.bookEntries.
+func decodeBookGroupInto(buf []byte, pb *PacketBuffer) (int, error) {
+	if len(buf) < groupHeaderLen {
+		return 0, ErrShortBuffer
+	}
+	elemLen := int(binary.LittleEndian.Uint16(buf[0:]))
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if elemLen < bookEntryLen {
+		return 0, fmt.Errorf("sbe: book group element length %d too small", elemLen)
+	}
+	need := groupHeaderLen + elemLen*count
+	if len(buf) < need {
+		return 0, ErrBadGroupCount
+	}
+	off := groupHeaderLen
+	for i := 0; i < count; i++ {
+		e := buf[off:]
+		pb.bookEntries = append(pb.bookEntries, BookEntry{
+			Price:      int64(binary.LittleEndian.Uint64(e[0:])),
+			Qty:        int32(binary.LittleEndian.Uint32(e[8:])),
+			SecurityID: int32(binary.LittleEndian.Uint32(e[12:])),
+			RptSeq:     binary.LittleEndian.Uint32(e[16:]),
+			Level:      e[20],
+			Action:     MDUpdateAction(e[21]),
+			Entry:      EntryType(e[22]),
+		})
+		off += elemLen
+	}
+	return need, nil
+}
+
+// decodeSnapshotGroupInto appends the group's entries to pb.snapEntries.
+func decodeSnapshotGroupInto(buf []byte, pb *PacketBuffer) (int, error) {
+	if len(buf) < groupHeaderLen {
+		return 0, ErrShortBuffer
+	}
+	elemLen := int(binary.LittleEndian.Uint16(buf[0:]))
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if elemLen < snapshotEntryLen {
+		return 0, fmt.Errorf("sbe: snapshot group element length %d too small", elemLen)
+	}
+	need := groupHeaderLen + elemLen*count
+	if len(buf) < need {
+		return 0, ErrBadGroupCount
+	}
+	off := groupHeaderLen
+	for i := 0; i < count; i++ {
+		e := buf[off:]
+		pb.snapEntries = append(pb.snapEntries, SnapshotEntry{
+			Price: int64(binary.LittleEndian.Uint64(e[0:])),
+			Qty:   int32(binary.LittleEndian.Uint32(e[8:])),
+			Level: e[12],
+			Entry: EntryType(e[13]),
+		})
+		off += elemLen
+	}
+	return need, nil
+}

@@ -30,26 +30,75 @@ type PacketEncoder struct {
 	buf []byte
 }
 
-// NewPacketEncoder starts a packet with the given header fields.
+// NewPacketEncoder starts a packet with the given header fields. The
+// buffer is sized from the messages actually encoded: each Add grows it by
+// that message's exact wire size (amortised once the packet outgrows its
+// first allocation) instead of a fixed up-front guess.
 func NewPacketEncoder(seqNum uint32, sendingTime uint64) *PacketEncoder {
-	buf := make([]byte, 0, 512)
+	buf := make([]byte, 0, PacketHeaderLen)
 	buf = binary.LittleEndian.AppendUint32(buf, seqNum)
 	buf = binary.LittleEndian.AppendUint64(buf, sendingTime)
 	return &PacketEncoder{buf: buf}
 }
 
+// encodedIncrementalLen is the exact wire size of an incremental refresh.
+func encodedIncrementalLen(m *IncrementalRefresh) int {
+	return messageHeaderLen + incrementalBlockLen + groupHeaderLen + bookEntryLen*len(m.Entries)
+}
+
+// encodedTradeLen is the exact wire size of a trade summary.
+const encodedTradeLen = messageHeaderLen + tradeBlockLen
+
+// encodedSnapshotLen is the exact wire size of a snapshot full refresh.
+func encodedSnapshotLen(m *SnapshotFullRefresh) int {
+	return messageHeaderLen + snapshotBlockLen + groupHeaderLen + snapshotEntryLen*len(m.Entries)
+}
+
+// encodedMessageLen is the exact wire size of a decoded message, excluding
+// the per-message size prefix. Empty messages (no payload set) are zero.
+func encodedMessageLen(m *Message) int {
+	switch {
+	case m.Incremental != nil:
+		return encodedIncrementalLen(m.Incremental)
+	case m.Trade != nil:
+		return encodedTradeLen
+	case m.Snapshot != nil:
+		return encodedSnapshotLen(m.Snapshot)
+	}
+	return 0
+}
+
+// grow ensures capacity for n more bytes. The first allocation is exact
+// (sized from the message being encoded); later growth doubles so a long
+// packet stays amortised-linear.
+func (p *PacketEncoder) grow(n int) {
+	if cap(p.buf)-len(p.buf) >= n {
+		return
+	}
+	newCap := len(p.buf) + n
+	if newCap < 2*cap(p.buf) {
+		newCap = 2 * cap(p.buf)
+	}
+	buf := make([]byte, len(p.buf), newCap)
+	copy(buf, p.buf)
+	p.buf = buf
+}
+
 // AddIncremental appends an incremental refresh message.
 func (p *PacketEncoder) AddIncremental(m *IncrementalRefresh) {
+	p.grow(msgSizeLen + encodedIncrementalLen(m))
 	p.addFramed(func(dst []byte) []byte { return AppendIncremental(dst, m) })
 }
 
 // AddTrade appends a trade summary message.
 func (p *PacketEncoder) AddTrade(m *TradeSummary) {
+	p.grow(msgSizeLen + encodedTradeLen)
 	p.addFramed(func(dst []byte) []byte { return AppendTrade(dst, m) })
 }
 
 // AddSnapshot appends a snapshot message.
 func (p *PacketEncoder) AddSnapshot(m *SnapshotFullRefresh) {
+	p.grow(msgSizeLen + encodedSnapshotLen(m))
 	p.addFramed(func(dst []byte) []byte { return AppendSnapshot(dst, m) })
 }
 
@@ -60,6 +109,45 @@ func (p *PacketEncoder) addFramed(encode func([]byte) []byte) {
 	p.buf = encode(p.buf)
 	// The MDP message size field includes the size field itself.
 	binary.LittleEndian.PutUint16(p.buf[sizeAt:], uint16(len(p.buf)-start+msgSizeLen))
+}
+
+// AppendPacket appends one complete encoded datagram — header plus every
+// non-empty message in msgs, size-framed — to dst and returns the extended
+// slice. The destination grows by the packet's exact wire size at most
+// once, so replay and publish loops that reuse dst (venue publishers, the
+// feed generator) reach steady-state zero allocations. The result is
+// byte-identical to a PacketEncoder fed the same messages.
+func AppendPacket(dst []byte, seqNum uint32, sendingTime uint64, msgs []Message) []byte {
+	total := PacketHeaderLen
+	for i := range msgs {
+		if n := encodedMessageLen(&msgs[i]); n > 0 {
+			total += msgSizeLen + n
+		}
+	}
+	if cap(dst)-len(dst) < total {
+		grown := make([]byte, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, seqNum)
+	dst = binary.LittleEndian.AppendUint64(dst, sendingTime)
+	for i := range msgs {
+		m := &msgs[i]
+		n := encodedMessageLen(m)
+		if n == 0 {
+			continue
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(n+msgSizeLen))
+		switch {
+		case m.Incremental != nil:
+			dst = AppendIncremental(dst, m.Incremental)
+		case m.Trade != nil:
+			dst = AppendTrade(dst, m.Trade)
+		case m.Snapshot != nil:
+			dst = AppendSnapshot(dst, m.Snapshot)
+		}
+	}
+	return dst
 }
 
 // Bytes returns the encoded datagram payload.

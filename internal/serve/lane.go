@@ -2,9 +2,11 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"lighttrader/internal/cgra"
 	"lighttrader/internal/core"
+	"lighttrader/internal/latency"
 	"lighttrader/internal/sbe"
 	"lighttrader/internal/sched"
 	"lighttrader/internal/sim"
@@ -41,6 +43,9 @@ type lane struct {
 	closed   bool
 
 	procMu sync.Mutex
+	// lat records the wall-clock dispatch latency of every query this lane
+	// served (guarded by procMu; merged across lanes by Server.Latency).
+	lat latency.Histogram
 }
 
 func newLane(id int, s *Server) *lane {
@@ -225,6 +230,7 @@ func (l *lane) process(batch []query, issue sched.Issue, now int64) {
 		}
 	}
 
+	start := time.Now()
 	l.procMu.Lock()
 	for _, q := range batch {
 		for _, p := range l.pipes {
@@ -235,6 +241,10 @@ func (l *lane) process(batch []query, issue sched.Issue, now int64) {
 			}
 			l.srv.deliver(p.SecurityID(), reqs)
 		}
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	for range batch {
+		l.lat.Record(elapsed)
 	}
 	l.procMu.Unlock()
 

@@ -27,6 +27,7 @@ import (
 
 	"lighttrader/internal/core"
 	"lighttrader/internal/exchange"
+	"lighttrader/internal/latency"
 	"lighttrader/internal/lob"
 	"lighttrader/internal/sbe"
 	"lighttrader/internal/sched"
@@ -396,6 +397,19 @@ func (s *Server) OnExecReport(rep exchange.ExecReport) {
 
 // Stats returns a consistent copy of the runtime counters.
 func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// Latency merges every lane's wall-clock dispatch histogram and returns
+// the combined percentile digest — the serving runtime's measured (not
+// modelled) per-query processing latency.
+func (s *Server) Latency() latency.Summary {
+	var merged latency.Histogram
+	for _, l := range s.lanes {
+		l.procMu.Lock()
+		merged.Merge(&l.lat)
+		l.procMu.Unlock()
+	}
+	return merged.Summarize()
+}
 
 // ModelledBusyNanos returns each lane's accumulated modelled service time
 // (Σ t_total of issued batches, per the sched latency tables). The maximum

@@ -259,7 +259,9 @@ func NewMulti(cfg Config, mp *core.MultiPipeline, reorderWindow int, scfg serve.
 type asyncSubmit struct{ t *MultiTrader }
 
 func (a asyncSubmit) OnDecodedPacket(pkt sbe.Packet) ([]exchange.Request, error) {
-	a.t.srv.SubmitPacket(a.t.arrivalNanos(pkt), pkt)
+	// The lanes retain the packet past this call, but the arbiter reuses its
+	// decode buffer as soon as we return — clone into owned storage.
+	a.t.srv.SubmitPacket(a.t.arrivalNanos(pkt), sbe.ClonePacket(pkt))
 	return nil, nil
 }
 

@@ -25,6 +25,10 @@ type Config struct {
 	MinConfidence float32
 	// FirstClOrdID seeds client order id allocation; ids increase from it.
 	FirstClOrdID uint64
+	// DecisionLogCap bounds the decision log: once cap decisions have been
+	// recorded the oldest are overwritten ring-style, keeping the hot path
+	// allocation-free in steady state. 0 keeps every decision (unbounded).
+	DecisionLogCap int
 }
 
 // DefaultConfig returns conservative limits for one instrument.
@@ -56,6 +60,7 @@ type Engine struct {
 	openBid   int64 // resting buy quantity
 	openAsk   int64 // resting sell quantity
 	decisions []Decision
+	decHead   int // ring write index, used once len(decisions) == DecisionLogCap
 	orders    int
 	// sides remembers each live order's side so execution reports that
 	// omit it (e.g. binary acks) are still applied correctly.
@@ -92,8 +97,32 @@ func (e *Engine) MarkToMarket(mid float64) float64 {
 // Orders returns how many orders the engine has generated.
 func (e *Engine) Orders() int { return e.orders }
 
-// Decisions returns the decision log.
-func (e *Engine) Decisions() []Decision { return e.decisions }
+// Decisions returns the decision log in chronological order. With a
+// DecisionLogCap configured it holds at most the cap's most recent entries.
+func (e *Engine) Decisions() []Decision {
+	cap := e.cfg.DecisionLogCap
+	if cap == 0 || len(e.decisions) < cap || e.decHead == 0 {
+		return e.decisions
+	}
+	out := make([]Decision, 0, len(e.decisions))
+	out = append(out, e.decisions[e.decHead:]...)
+	out = append(out, e.decisions[:e.decHead]...)
+	return out
+}
+
+// record appends one decision, overwriting the oldest once the configured
+// ring capacity is reached.
+func (e *Engine) record(d Decision) {
+	if cap := e.cfg.DecisionLogCap; cap > 0 && len(e.decisions) >= cap {
+		e.decisions[e.decHead] = d
+		e.decHead++
+		if e.decHead == cap {
+			e.decHead = 0
+		}
+		return
+	}
+	e.decisions = append(e.decisions, d)
+}
 
 // OnPrediction consumes one inference result together with the snapshot it
 // was computed from, returning an order request when the signal passes the
@@ -101,7 +130,7 @@ func (e *Engine) Decisions() []Decision { return e.decisions }
 // best ask on Up, sell at the best bid on Down.
 func (e *Engine) OnPrediction(dir nn.Direction, conf float32, snap lob.Snapshot) (exchange.Request, bool) {
 	d := Decision{TimeNanos: snap.TimeNanos, Direction: dir, Confidence: conf}
-	defer func() { e.decisions = append(e.decisions, d) }()
+	defer func() { e.record(d) }()
 
 	if dir == nn.Stationary {
 		d.Suppressed = "stationary"
@@ -177,7 +206,13 @@ func (e *Engine) OnExec(rep exchange.ExecReport) {
 				e.openAsk = 0
 			}
 		}
+		if rep.Exec == exchange.ExecFilled {
+			// Full fill is terminal: retire the side record so steady-state
+			// order flow does not grow the map without bound.
+			delete(e.sides, rep.ClOrdID)
+		}
 	case exchange.ExecCanceled, exchange.ExecRejected:
+		delete(e.sides, rep.ClOrdID)
 		if rep.Side == lob.Bid {
 			e.openBid -= rep.Qty
 			if e.openBid < 0 {
