@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched sched-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,18 @@ api-update:
 # Kernel/inference micro-benchmarks (GEMM, conv, LSTM, model inference) and
 # the tick-to-trade hot-path benchmarks (wire decode, book ops, end-to-end
 # pipeline), archived as JSON so runs can be diffed. See EXPERIMENTS.md.
-bench:
+bench: bench-sched
 	$(GO) test -run=^$$ -bench=. -benchmem ./internal/tensor/ ./internal/nn/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	$(GO) test -run=^$$ -bench=. -benchmem \
 		./internal/sbe/ ./internal/lob/ ./internal/latency/ ./internal/core/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_tickpath.json
+
+# The scheduling-policy comparison (every registered strategy × three
+# traffic regimes, with the Q-table trained first), archived as JSON so
+# policy regressions show up in the diff. See EXPERIMENTS.md.
+bench-sched:
+	$(GO) run ./cmd/ltbench -schedjson BENCH_sched.json
 
 # Every benchmark in the repo (including the sim-engine harness).
 bench-all:
@@ -55,6 +61,13 @@ bench-tickpath:
 	$(GO) test -run='ZeroAlloc' -bench=. -benchtime=1x \
 		./internal/sbe/ ./internal/lob/ ./internal/latency/ ./internal/core/
 
+# Policy-matrix smoke: the full scheduler registry × three workloads over a
+# small trace via bench.RunMatrix, checked byte-identical across worker
+# counts, plus the per-policy engine invariants.
+sched-smoke:
+	$(GO) test -run 'TestSchedMatrix|TestEveryPolicyRespectsEngineInvariants' \
+		./internal/bench/ ./internal/core/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -68,6 +81,6 @@ fuzz-smoke:
 # The full CI gate: formatting, static analysis, build, the API snapshot,
 # the test suite under the race detector (which covers the concurrent
 # serving runtime in internal/serve), single-iteration benchmark smoke
-# runs (kernels and the zero-alloc tick path), and a short fuzz pass over
-# the wire decoders.
-ci: fmt-check vet build api-check race bench-smoke bench-tickpath fuzz-smoke
+# runs (kernels and the zero-alloc tick path), the scheduling policy-matrix
+# smoke, and a short fuzz pass over the wire decoders.
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fuzz-smoke

@@ -32,6 +32,7 @@ func main() {
 	power := flag.String("power", "sufficient", "power condition: sufficient, limited")
 	ws := flag.Bool("ws", false, "enable workload scheduling (Algorithm 1 batching)")
 	ds := flag.Bool("ds", false, "enable DVFS scheduling (Algorithm 2)")
+	scheduler := flag.String("scheduler", "", "scheduling strategy: "+strings.Join(lighttrader.SchedulerNames(), ", ")+" (default ppw; implies -ws)")
 	ticks := flag.Int("ticks", 40000, "synthetic trace length (total packets in -serve mode)")
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
 	tracePath := flag.String("trace", "", "replay a recorded trace file instead of generating one")
@@ -53,8 +54,17 @@ func main() {
 		pc = lighttrader.Limited
 	}
 
+	var schedOpt []lighttrader.Option
+	if *scheduler != "" {
+		factory, err := lighttrader.SchedulerByName(*scheduler)
+		if err != nil {
+			fatal(err)
+		}
+		schedOpt = append(schedOpt, lighttrader.WithScheduler(factory))
+	}
+
 	if *serveMode {
-		runServe(*symbols, *accels, *ticks, *seed, pc, *ds)
+		runServe(*symbols, *accels, *ticks, *seed, pc, *ds, schedOpt)
 		return
 	}
 
@@ -80,6 +90,7 @@ func main() {
 		if *ds {
 			opts = append(opts, lighttrader.WithDVFSScheduling())
 		}
+		opts = append(opts, schedOpt...)
 		sys, err = lighttrader.New(m, opts...)
 		if err != nil {
 			fatal(err)
@@ -117,7 +128,7 @@ func main() {
 // the modelled makespan (Σ issued batch latency per lane, max over lanes).
 // Queues are pre-filled before the lanes start so the Algorithm-1 batch
 // decisions, and therefore the modelled times, are deterministic.
-func runServe(symbols, lanes, total int, seed int64, pc lighttrader.PowerCondition, ds bool) {
+func runServe(symbols, lanes, total int, seed int64, pc lighttrader.PowerCondition, ds bool, schedOpt []lighttrader.Option) {
 	if symbols < 1 || lanes < 1 {
 		fatal(fmt.Errorf("-serve needs -symbols >= 1 and -accels >= 1"))
 	}
@@ -170,6 +181,7 @@ func runServe(symbols, lanes, total int, seed int64, pc lighttrader.PowerConditi
 		if ds {
 			opts = append(opts, lighttrader.WithDVFSScheduling())
 		}
+		opts = append(opts, schedOpt...)
 		srv, err := lighttrader.NewServer(build(), opts...)
 		if err != nil {
 			fatal(err)

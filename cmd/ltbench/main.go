@@ -8,6 +8,8 @@
 //	ltbench -ticks 40000         # trace length
 //	ltbench -tavail 20ms         # per-query available time
 //	ltbench -trace out.jsonl     # instrumented run: event log + miss attribution
+//	ltbench -scheduler fcfs      # scheduling strategy for the -trace run
+//	ltbench -schedjson out.json  # archive the sched-matrix rows as JSON
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
 //	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
@@ -28,6 +30,7 @@ import (
 
 	"lighttrader/internal/bench"
 	"lighttrader/internal/prof"
+	"lighttrader/internal/sched"
 	"lighttrader/internal/tensor"
 )
 
@@ -38,6 +41,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace seed")
 	parallel := flag.Int("parallel", 1, "experiment worker count (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write an instrumented-run event log (JSONL) to this path")
+	scheduler := flag.String("scheduler", "", "scheduling strategy for the -trace run: "+strings.Join(sched.SchedulerNames(), ", ")+" (default ppw)")
+	schedjson := flag.String("schedjson", "", "run the sched-matrix experiment and write its rows as JSON to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,9 +67,19 @@ func main() {
 	start := time.Now()
 
 	if *trace != "" {
-		if err := writeTrace(tc, *trace); err != nil {
+		if err := writeTrace(tc, *trace, *scheduler); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	if *schedjson != "" {
+		if err := writeSchedJSON(tc, *schedjson); err != nil {
+			fmt.Fprintf(os.Stderr, "schedjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace == "" && strings.EqualFold(*exp, "all") {
+			return // archive run: don't also regenerate the whole suite
 		}
 	}
 
@@ -127,9 +142,16 @@ func needsTraffic(sel []bench.Experiment) bool {
 
 // writeTrace runs the canonical instrumented configuration and writes its
 // event log, printing the per-cause miss attribution summary.
-func writeTrace(tc bench.TrafficConfig, path string) error {
+func writeTrace(tc bench.TrafficConfig, path, scheduler string) error {
 	start := time.Now()
-	m, tr := bench.TraceRun(tc)
+	var factory sched.Factory
+	if scheduler != "" {
+		var err error
+		if factory, err = sched.FactoryByName(scheduler); err != nil {
+			return err
+		}
+	}
+	m, tr := bench.TraceRunWith(tc, factory)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -144,6 +166,23 @@ func writeTrace(tc bench.TrafficConfig, path string) error {
 	fmt.Print(indent(tr.Summary()))
 	fmt.Printf("  event log written to %s\n", path)
 	fmt.Printf("[trace completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeSchedJSON runs the scheduling-policy matrix and archives its rows.
+func writeSchedJSON(tc bench.TrafficConfig, path string) error {
+	start := time.Now()
+	rows := bench.SchedMatrix(tc)
+	data, err := bench.SchedMatrixJSON(tc, rows)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderSchedMatrix(rows))
+	fmt.Printf("sched matrix written to %s\n", path)
+	fmt.Printf("[sched-matrix completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

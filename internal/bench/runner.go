@@ -15,6 +15,7 @@ import (
 
 	"lighttrader/internal/core"
 	"lighttrader/internal/nn"
+	"lighttrader/internal/sched"
 	"lighttrader/internal/sim"
 )
 
@@ -48,6 +49,7 @@ func Experiments(tc TrafficConfig) []Experiment {
 		{Name: "ablation-policy", Run: func() string { return RenderAblationPolicy(AblationPolicy(tc)) }},
 		{Name: "ablation-switch", Run: func() string { return RenderAblationSwitchDelay(AblationSwitchDelay(tc)) }},
 		{Name: "ablation-burstiness", Run: func() string { return RenderAblationBurstiness(AblationBurstiness(tc)) }},
+		{Name: "sched-matrix", Run: func() string { return RenderSchedMatrix(SchedMatrix(tc)) }},
 	}
 }
 
@@ -132,8 +134,14 @@ feed:
 // and returns the run metrics alongside the tracer for attribution and
 // event export (ltbench -trace).
 func TraceRun(tc TrafficConfig) (sim.Metrics, *sim.Tracer) {
+	return TraceRunWith(tc, nil)
+}
+
+// TraceRunWith is TraceRun under an alternative scheduling strategy (nil
+// keeps the default proactive PPW scheduler) — the ltbench -scheduler knob.
+func TraceRunWith(tc TrafficConfig, factory sched.Factory) (sim.Metrics, *sim.Tracer) {
 	cfg, err := core.Configure(nn.NewDeepLOB(), 2, core.Limited,
-		core.Options{WorkloadScheduling: true, DVFSScheduling: true})
+		core.Options{WorkloadScheduling: true, DVFSScheduling: true, Scheduler: factory})
 	if err != nil {
 		panic(err) // static config; cannot fail
 	}

@@ -1,0 +1,207 @@
+package bench
+
+// The scheduling-policy comparison: every registered strategy (the paper's
+// proactive PPW scheduler, the four naive baselines, and the trained
+// Q-learning yardstick) across three traffic regimes, on the canonical
+// instrumented configuration (DeepLOB, two accelerators, limited power,
+// WS+DS). The matrix quantifies the paper's central claim — that proactive
+// PPW scheduling beats reactive heuristics under bursty traffic — and gives
+// the learned scheduler a fair, reproducible seat at the same table.
+// `make bench-sched` archives the rows as BENCH_sched.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// schedTrainEpisodes is the number of seeded training replays the Q-table
+// gets before being frozen for evaluation.
+const schedTrainEpisodes = 4
+
+// SchedRow is one (policy, workload) cell of the scheduling matrix.
+type SchedRow struct {
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"`
+	// ResponseRate and MissRate are fractions of the submitted queries.
+	ResponseRate float64 `json:"response_rate"`
+	MissRate     float64 `json:"miss_rate"`
+	MeanBatch    float64 `json:"mean_batch"`
+	EnergyJ      float64 `json:"energy_joules"`
+	// PPW is the run-level performance-per-watt proxy: responses per joule.
+	PPW float64 `json:"responses_per_joule"`
+}
+
+// schedWorkload is one traffic regime of the matrix.
+type schedWorkload struct {
+	Name string
+	TC   TrafficConfig
+}
+
+// schedWorkloads derives the three regimes from the base traffic: a
+// subcritical calm stream, the default near-critical bursty mixture, and a
+// flash regime with the cascade component pushed next to criticality.
+func schedWorkloads(tc TrafficConfig) []schedWorkload {
+	calm := tc
+	calm.Burst.Alpha = calm.Burst.Beta * 0.5
+	flash := tc
+	flash.Burst.Alpha = flash.Burst.Beta * 0.98
+	return []schedWorkload{
+		{Name: "calm", TC: calm},
+		{Name: "bursty", TC: tc},
+		{Name: "flash", TC: flash},
+	}
+}
+
+// schedMatrixConfig is the system the matrix evaluates: the canonical
+// instrumented configuration where every miss cause is exercised.
+func schedMatrixConfig(factory sched.Factory) (core.SystemConfig, error) {
+	return core.Configure(nn.NewDeepLOB(), 2, core.Limited, core.Options{
+		WorkloadScheduling: true, DVFSScheduling: true, Scheduler: factory,
+	})
+}
+
+// TrainQ trains a tabular Q-scheduler for the matrix configuration against
+// the deterministic simulator: `episodes` seeded replays of tc's query
+// stream with exploration and updates on, then frozen. Training is exactly
+// reproducible — the trace, the simulator and the ε-greedy source are all
+// seeded — so the returned (read-only) policy is a deterministic function
+// of (tc, episodes).
+func TrainQ(tc TrafficConfig, episodes int) *sched.QScheduler {
+	cfg, err := schedMatrixConfig(nil)
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	q := sched.NewQScheduler(&cfg.Sched, sched.DefaultQConfig())
+	// The factory hands every Reset the same instance, so the table carries
+	// across episodes instead of starting fresh each run.
+	cfg.Scheduler = func(*sched.Config) sched.Scheduler { return q }
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	q.SetTraining(true)
+	for e := 0; e < episodes; e++ {
+		sim.Run(tc.Queries(), sys)
+		q.EndEpisode()
+	}
+	q.SetTraining(false)
+	return q
+}
+
+// schedCell is one unit of matrix work: a policy factory on a workload.
+type schedCell struct {
+	policy   string
+	workload schedWorkload
+	factory  sched.Factory
+}
+
+// SchedMatrix builds the full policy × workload comparison serially.
+func SchedMatrix(tc TrafficConfig) []SchedRow { return SchedMatrixWorkers(tc, 1) }
+
+// SchedMatrixWorkers is SchedMatrix with the cells fanned across a worker
+// pool. Training runs first, serially; evaluation cells share only the
+// frozen (read-only) Q-table and the query cache, so rows are identical for
+// any worker count.
+func SchedMatrixWorkers(tc TrafficConfig, workers int) []SchedRow {
+	trained := TrainQ(tc, schedTrainEpisodes)
+	policies := []struct {
+		name    string
+		factory sched.Factory
+	}{
+		{"ppw", nil}, // nil factory: the engines' default PPW path
+		{"fcfs", mustFactory("fcfs")},
+		{"greedy", mustFactory("greedy")},
+		{"rr", mustFactory("rr")},
+		{"sjf", mustFactory("sjf")},
+		{"qtable", func(*sched.Config) sched.Scheduler { return trained }},
+	}
+	var cells []schedCell
+	for _, w := range schedWorkloads(tc) {
+		for _, p := range policies {
+			cells = append(cells, schedCell{policy: p.name, workload: w, factory: p.factory})
+		}
+	}
+	return RunMatrix(cells, workers, runSchedCell)
+}
+
+// mustFactory resolves a registered policy; the names are compile-time
+// constants, so resolution cannot fail.
+func mustFactory(name string) sched.Factory {
+	f, err := sched.FactoryByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// runSchedCell evaluates one (policy, workload) cell.
+func runSchedCell(c schedCell) SchedRow {
+	cfg, err := schedMatrixConfig(c.factory)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	m := sim.Run(c.workload.TC.Queries(), sys)
+	row := SchedRow{
+		Policy: c.policy, Workload: c.workload.Name,
+		ResponseRate: m.ResponseRate, MissRate: m.MissRate,
+		MeanBatch: m.MeanBatch, EnergyJ: m.EnergyJoules,
+	}
+	if m.EnergyJoules > 0 {
+		row.PPW = float64(m.Responded) / m.EnergyJoules
+	}
+	return row
+}
+
+// RenderSchedMatrix renders the comparison table.
+func RenderSchedMatrix(rows []SchedRow) string {
+	var b strings.Builder
+	header(&b, "Scheduler policies × workloads (DeepLOB, N=2, limited power, WS+DS)")
+	fmt.Fprintf(&b, "%-8s %-8s %14s %10s %11s %11s %8s\n",
+		"workload", "policy", "response rate", "miss rate", "mean batch", "energy (J)", "resp/J")
+	last := ""
+	for _, r := range rows {
+		if last != "" && r.Workload != last {
+			b.WriteString("\n")
+		}
+		last = r.Workload
+		fmt.Fprintf(&b, "%-8s %-8s %14s %10s %11.2f %11.1f %8.0f\n",
+			r.Workload, r.Policy, pct(r.ResponseRate), pct(r.MissRate),
+			r.MeanBatch, r.EnergyJ, r.PPW)
+	}
+	b.WriteString("\nppw is Algorithm 1; fcfs/greedy/rr/sjf are naive baselines over the\n")
+	b.WriteString("same feasibility checks; qtable is a tabular Q-learner trained on the\n")
+	b.WriteString("bursty regime (seeded, reproducible) and frozen for evaluation.\n")
+	return b.String()
+}
+
+// SchedReport is the archived form of the matrix (BENCH_sched.json).
+type SchedReport struct {
+	Model       string     `json:"model"`
+	Accels      int        `json:"accels"`
+	Power       string     `json:"power"`
+	Ticks       int        `json:"ticks"`
+	TAvailNanos int64      `json:"t_avail_nanos"`
+	Seed        int64      `json:"seed"`
+	Episodes    int        `json:"q_train_episodes"`
+	Rows        []SchedRow `json:"rows"`
+}
+
+// SchedMatrixJSON marshals the matrix with its generating parameters.
+func SchedMatrixJSON(tc TrafficConfig, rows []SchedRow) ([]byte, error) {
+	rep := SchedReport{
+		Model: "DeepLOB", Accels: 2, Power: core.Limited.Name,
+		Ticks: tc.Ticks, TAvailNanos: tc.TAvailNanos, Seed: tc.Seed,
+		Episodes: schedTrainEpisodes, Rows: rows,
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// schedTestTraffic is a small but non-trivial trace: enough ticks that every
+// policy issues, defers and batches, small enough for CI.
+func schedTestTraffic() TrafficConfig {
+	tc := DefaultTraffic()
+	tc.Ticks = 4000
+	return tc
+}
+
+// TestSchedMatrixParallelIdentical is the policy-matrix smoke `make ci`
+// runs: the full policy × workload matrix over a small trace must be
+// byte-identical for any worker count — training is serial and seeded, and
+// evaluation cells share only read-only state.
+func TestSchedMatrixParallelIdentical(t *testing.T) {
+	tc := schedTestTraffic()
+	serial := SchedMatrixWorkers(tc, 1)
+	parallel := SchedMatrixWorkers(tc, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("matrix diverged across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if got := RenderSchedMatrix(serial); got != RenderSchedMatrix(parallel) {
+		t.Fatal("rendered matrix diverged across worker counts")
+	}
+}
+
+// TestSchedMatrixShape: one row per (workload, policy) pair, fully
+// accounted rates, and the archived JSON carries the generating parameters.
+func TestSchedMatrixShape(t *testing.T) {
+	tc := schedTestTraffic()
+	rows := SchedMatrix(tc)
+	wantPolicies := []string{"ppw", "fcfs", "greedy", "rr", "sjf", "qtable"}
+	wantWorkloads := []string{"calm", "bursty", "flash"}
+	if len(rows) != len(wantPolicies)*len(wantWorkloads) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantPolicies)*len(wantWorkloads))
+	}
+	i := 0
+	for _, w := range wantWorkloads {
+		for _, p := range wantPolicies {
+			r := rows[i]
+			i++
+			if r.Workload != w || r.Policy != p {
+				t.Fatalf("row %d = (%s, %s), want (%s, %s)", i-1, r.Workload, r.Policy, w, p)
+			}
+			if r.ResponseRate < 0 || r.ResponseRate > 1 || r.MissRate < 0 || r.MissRate > 1 {
+				t.Fatalf("row %d rates out of range: %+v", i-1, r)
+			}
+			if diff := r.ResponseRate + r.MissRate - 1; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("row %d rates do not sum to 1: %+v", i-1, r)
+			}
+			if r.EnergyJ <= 0 || r.PPW <= 0 {
+				t.Fatalf("row %d has no energy accounting: %+v", i-1, r)
+			}
+		}
+	}
+	// FCFS never batches; the PPW policy batches under this traffic.
+	byKey := map[string]SchedRow{}
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Policy] = r
+	}
+	if mb := byKey["bursty/fcfs"].MeanBatch; mb != 1 {
+		t.Fatalf("fcfs mean batch = %v, want exactly 1", mb)
+	}
+	if mb := byKey["bursty/ppw"].MeanBatch; mb <= 1 {
+		t.Fatalf("ppw mean batch = %v, want > 1 under bursty traffic", mb)
+	}
+
+	data, err := SchedMatrixJSON(tc, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep SchedReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks != tc.Ticks || rep.Seed != tc.Seed || len(rep.Rows) != len(rows) {
+		t.Fatalf("archived report lost parameters: %+v", rep)
+	}
+	if !strings.Contains(string(data), "responses_per_joule") {
+		t.Fatal("JSON missing the PPW column")
+	}
+}
+
+// TestTrainQReproducible: the training loop is a deterministic function of
+// its inputs — two independent trainings decide identically.
+func TestTrainQReproducible(t *testing.T) {
+	tc := schedTestTraffic()
+	a := TrainQ(tc, 2)
+	b := TrainQ(tc, 2)
+	if a.StatesVisited() == 0 {
+		t.Fatal("training visited no states")
+	}
+	if a.StatesVisited() != b.StatesVisited() {
+		t.Fatalf("training diverged: %d vs %d states visited", a.StatesVisited(), b.StatesVisited())
+	}
+}

@@ -35,6 +35,9 @@ type Options struct {
 	Policy sched.Policy
 	// Precision selects the execution data type (default BF16).
 	Precision cgra.Precision
+	// Scheduler overrides the scheduling strategy (default: the paper's
+	// proactive PPW scheduler behind sched.NewPPWScheduler).
+	Scheduler sched.Factory
 }
 
 // Configure compiles model m for the default accelerator spec and builds a
@@ -60,6 +63,7 @@ func Configure(m *nn.Model, n int, power PowerCondition, opts Options) (SystemCo
 			PostProcessNanos:   DefaultPostPipelineNanos,
 			IssuePolicy:        opts.Policy,
 		},
+		Scheduler:        opts.Scheduler,
 		NumAccels:        n,
 		PrePipelineNanos: DefaultPrePipelineNanos,
 	}, nil

@@ -1,0 +1,183 @@
+package core
+
+// Engine-level checks for the pluggable scheduler: every registered policy,
+// driven through the real simulator, must respect the system's hard
+// invariants — the card power budget is never exceeded and an accelerator
+// never takes a second batch while one is in flight. The default path must
+// also be provably unchanged: a nil factory and the explicit "ppw" factory
+// produce identical metrics.
+
+import (
+	"testing"
+
+	"lighttrader/internal/nn"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// policyQueries builds a deterministic bursty stream: clustered arrivals
+// (queue pressure forces batching decisions) with a few tight deadlines
+// (defer paths) over a generous base budget.
+func policyQueries() []sim.Query {
+	var qs []sim.Query
+	now := int64(0)
+	id := int64(0)
+	for burst := 0; burst < 60; burst++ {
+		n := 1 + burst%7
+		for i := 0; i < n; i++ {
+			tAvail := int64(5_000_000)
+			if (id % 11) == 0 {
+				tAvail = 150_000 // occasionally tight: exercises defer verdicts
+			}
+			qs = append(qs, sim.Query{
+				ID: id, ArrivalNanos: now + int64(i)*2_000,
+				DeadlineNanos: now + int64(i)*2_000 + tAvail,
+			})
+			id++
+		}
+		now += 400_000
+	}
+	return qs
+}
+
+// invariantProbe checks power samples against the budget and issue events
+// against per-accelerator busy intervals. A batch emits one QueryIssue per
+// member query with identical (time, done); those are one issue, not many.
+type busyInterval struct{ issueAt, done int64 }
+
+type invariantProbe struct {
+	t      *testing.T
+	budget float64
+	busy   map[int]busyInterval
+}
+
+func (p *invariantProbe) OnQueryEvent(e sim.QueryEvent) {
+	if e.Kind != sim.QueryIssue {
+		return
+	}
+	b, ok := p.busy[e.Accel]
+	if ok && e.TimeNanos == b.issueAt && e.DoneNanos == b.done {
+		return // same batch, per-query event
+	}
+	if ok && e.TimeNanos < b.done {
+		p.t.Errorf("accel %d issued at %d while busy until %d", e.Accel, e.TimeNanos, b.done)
+	}
+	p.busy[e.Accel] = busyInterval{issueAt: e.TimeNanos, done: e.DoneNanos}
+}
+
+func (p *invariantProbe) OnDVFSEvent(e sim.DVFSEvent) {
+	if e.RetimedNanos != 0 {
+		// A retime shifts the in-flight batch's completion.
+		b := p.busy[e.Accel]
+		b.done += e.RetimedNanos
+		p.busy[e.Accel] = b
+	}
+}
+
+func (p *invariantProbe) OnSample(s sim.Sample) {
+	if s.PowerWatts > p.budget+1e-9 {
+		p.t.Errorf("power sample %.2f W exceeds budget %.2f W at %d", s.PowerWatts, p.budget, s.TimeNanos)
+	}
+}
+
+// TestEveryPolicyRespectsEngineInvariants drives every registered policy
+// through the simulator on WS and WS+DS configurations under the limited
+// envelope and checks the probe-visible invariants plus full accounting.
+func TestEveryPolicyRespectsEngineInvariants(t *testing.T) {
+	queries := policyQueries()
+	for _, name := range sched.SchedulerNames() {
+		factory, err := sched.FactoryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range []bool{false, true} {
+			cfg, err := Configure(nn.NewSizedCNN("policy-inv", 8, 0), 2, Limited, Options{
+				WorkloadScheduling: true, DVFSScheduling: ds, Scheduler: factory,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := &invariantProbe{t: t, budget: cfg.Sched.PowerBudgetWatts, busy: map[int]busyInterval{}}
+			m := sim.RunWithOptions(queries, sys, sim.WithProbe(probe))
+			if m.Unaccounted != 0 {
+				t.Errorf("%s ds=%v: %d unaccounted queries", name, ds, m.Unaccounted)
+			}
+			if m.Responded == 0 {
+				t.Errorf("%s ds=%v: policy served nothing", name, ds)
+			}
+		}
+	}
+}
+
+// TestPPWFactoryMatchesDefaultPath: the explicit "ppw" factory and the nil
+// default must be indistinguishable — same system name, same metrics.
+func TestPPWFactoryMatchesDefaultPath(t *testing.T) {
+	queries := policyQueries()
+	run := func(factory sched.Factory) sim.Metrics {
+		cfg, err := Configure(nn.NewSizedCNN("policy-eq", 8, 0), 2, Limited, Options{
+			WorkloadScheduling: true, DVFSScheduling: true, Scheduler: factory,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(queries, sys)
+	}
+	ppw, err := sched.FactoryByName("ppw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, explicit := run(nil), run(ppw)
+	if def != explicit {
+		t.Fatalf("default path diverged from explicit ppw factory:\n  nil: %+v\n  ppw: %+v", def, explicit)
+	}
+}
+
+// TestNonDefaultPolicyTagged: a non-default policy shows up in the system
+// name (and therefore in every metrics line); the default keeps the
+// historical name byte-identically.
+func TestNonDefaultPolicyTagged(t *testing.T) {
+	build := func(factory sched.Factory) *System {
+		cfg, err := Configure(nn.NewSizedCNN("policy-tag", 8, 0), 2, Limited, Options{
+			WorkloadScheduling: true, Scheduler: factory,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	if name := build(nil).Name(); name != "LightTrader[policy-tag,N=2,WS]" {
+		t.Fatalf("default name = %q changed", name)
+	}
+	fcfs, err := sched.FactoryByName("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := build(fcfs).Name(); name != "LightTrader[policy-tag,N=2,WS,fcfs]" {
+		t.Fatalf("fcfs name = %q", name)
+	}
+}
+
+// TestNewSystemValidatesConfig: construction rejects configs the scheduling
+// decisions cannot operate on.
+func TestNewSystemValidatesConfig(t *testing.T) {
+	cfg, err := Configure(nn.NewSizedCNN("policy-val", 8, 0), 1, Limited, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sched.PowerBudgetWatts = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("NewSystem accepted a zero power budget")
+	}
+}

@@ -19,6 +19,10 @@ import (
 type SystemConfig struct {
 	// Sched carries the hardware models and scheduling feature switches.
 	Sched sched.Config
+	// Scheduler selects the scheduling strategy deciding what each idle
+	// accelerator issues. nil selects the paper's proactive PPW scheduler
+	// (Algorithm 1), which reproduces the pre-interface behaviour exactly.
+	Scheduler sched.Factory
 	// NumAccels is the accelerator count (1…16 in the paper's sweeps).
 	NumAccels int
 	// PrePipelineNanos is the FPGA trading-pipeline time before a tensor
@@ -58,6 +62,13 @@ type System struct {
 	queue  []sim.Query
 	accels []accel
 
+	// policy is the scheduling strategy, rebuilt from cfg.Scheduler on
+	// every Reset so stateful policies start each run fresh.
+	policy sched.Scheduler
+	// viewScratch backs the busy-accelerator views handed to the policy
+	// and to Algorithm 2; reused across calls, never retained.
+	viewScratch []sched.BusyAccel
+
 	pending []sim.Completion
 	lastNow int64
 
@@ -92,6 +103,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Sched.PostProcessNanos == 0 {
 		cfg.Sched.PostProcessNanos = DefaultPostPipelineNanos
 	}
+	if err := cfg.Sched.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	tag := "baseline"
 	switch {
 	case cfg.Sched.WorkloadScheduling && cfg.Sched.DVFSScheduling:
@@ -101,12 +115,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	case cfg.Sched.DVFSScheduling:
 		tag = "DS"
 	}
-	s := &System{
-		cfg: cfg,
-		name: fmt.Sprintf("LightTrader[%s,N=%d,%s]",
-			cfg.Sched.Kernel.ModelName, cfg.NumAccels, tag),
-	}
+	s := &System{cfg: cfg}
 	s.Reset()
+	if name := s.policy.Name(); name != "ppw" {
+		// Non-default policies show up in the system tag (and therefore in
+		// every metrics line); the default keeps the historical name.
+		tag += "," + name
+	}
+	s.name = fmt.Sprintf("LightTrader[%s,N=%d,%s]",
+		cfg.Sched.Kernel.ModelName, cfg.NumAccels, tag)
 	return s, nil
 }
 
@@ -115,6 +132,11 @@ func (s *System) Name() string { return s.name }
 
 // Reset implements sim.SystemModel.
 func (s *System) Reset() {
+	factory := s.cfg.Scheduler
+	if factory == nil {
+		factory = func(c *sched.Config) sched.Scheduler { return sched.NewPPWScheduler(c) }
+	}
+	s.policy = factory(&s.cfg.Sched)
 	s.queue = s.queue[:0]
 	s.accels = make([]accel, s.cfg.NumAccels)
 	start := s.startState()
@@ -293,9 +315,22 @@ func (s *System) powerAvailExcluding(skip int) float64 {
 	return s.cfg.Sched.PowerBudgetWatts - used
 }
 
-// busyViews builds Algorithm 2's view of the non-idle accelerators.
+// idleCount returns the number of accelerators able to take work.
+func (s *System) idleCount() int {
+	n := 0
+	for i := range s.accels {
+		if !s.accels[i].busy {
+			n++
+		}
+	}
+	return n
+}
+
+// busyViews builds the per-accelerator busy view handed to the scheduling
+// policy and to Algorithm 2. The returned slice aliases viewScratch and is
+// only valid until the next call.
 func (s *System) busyViews(now int64) []sched.BusyAccel {
-	var views []sched.BusyAccel
+	views := s.viewScratch[:0]
 	for i := range s.accels {
 		a := &s.accels[i]
 		if !a.busy {
@@ -315,6 +350,7 @@ func (s *System) busyViews(now int64) []sched.BusyAccel {
 			RemainingNanos: a.doneAt - now,
 		})
 	}
+	s.viewScratch = views
 	return views
 }
 
@@ -346,8 +382,9 @@ func (s *System) applyDVFS(i int, d cgra.DVFSState, now int64, reason sim.DVFSRe
 	a.state = d
 }
 
-// schedule runs the proactive scheduler: Algorithm 1 issues to idle
-// accelerators (with Algorithm 2's power-saving step as a retry path when
+// schedule runs the configured scheduling policy: the strategy decides
+// what each idle accelerator issues (Algorithm 1 under the default
+// PPWScheduler, with Algorithm 2's power-saving step as a retry path when
 // an issue fails on power), then Algorithm 2 redistributes residual budget.
 // DVFS actions are rate-limited ("the HFT system carefully uses DVFS",
 // §III-D): each in-flight batch is retimed at most once, and only when
@@ -363,7 +400,17 @@ func (s *System) schedule(now int64) {
 		for len(s.queue) > 0 {
 			oldest := s.queue[0]
 			avail := oldest.Remaining(now) - s.cfg.PrePipelineNanos
-			issue, verdict := sched.PickIssueExplained(cfg, len(s.queue), avail, s.powerAvailExcluding(i), a.state)
+			dec := s.policy.Decide(sched.SchedContext{
+				NowNanos:        now,
+				Queued:          len(s.queue),
+				AvailNanos:      avail,
+				PowerAvailWatts: s.powerAvailExcluding(i),
+				Current:         a.state,
+				AccelID:         i,
+				IdleAccels:      s.idleCount(),
+				Busy:            s.busyViews(now),
+			})
+			issue, verdict := dec.Issue, dec.Verdict
 			ok := verdict == sched.VerdictIssued
 			if !ok && cfg.DVFSScheduling && !savedPower {
 				// Saving step: scale busy accelerators down within their
@@ -382,7 +429,7 @@ func (s *System) schedule(now int64) {
 				// attributed to the scheduler's decision reason.
 				s.emitQuery(sim.QueryEvent{
 					TimeNanos: now, Kind: sim.QueryDefer, Query: oldest,
-					Accel: -1, Cause: deferCause(verdict),
+					Accel: -1, Cause: verdict.DeferCause(),
 				})
 				s.pending = append(s.pending, sim.Completion{Query: oldest, Dropped: true})
 				s.queue = s.queue[1:]
@@ -439,18 +486,6 @@ func (s *System) schedule(now int64) {
 		}
 	}
 	s.sample(now)
-}
-
-// deferCause maps Algorithm 1's verdict onto the probe event taxonomy.
-func deferCause(v sched.Verdict) sim.DeferCause {
-	switch v {
-	case sched.VerdictDeadlineInfeasible:
-		return sim.CauseDeadline
-	case sched.VerdictPowerInfeasible:
-		return sim.CausePower
-	default:
-		return sim.CauseNone
-	}
 }
 
 // retimableViews returns the busy accelerators still eligible for a DVFS

@@ -1,0 +1,281 @@
+package sched
+
+// A tabular Q-learning scheduler: the learned-policy yardstick the ROADMAP
+// asks for. The agent observes a coarse discretisation of the scheduling
+// state (bucketed queue depth × deadline slack × available power), its
+// actions are Algorithm 1's own (dvfs, batch) candidates plus the forced
+// defer, and the reward is response-rate shaped: +batch for every issued
+// query (feasible by construction, so it will meet its deadline in the
+// modelled engines) and a miss penalty for every defer. Infeasible actions
+// are masked at decision time, so the learned policy upholds the same hard
+// invariants as every other policy regardless of what its table says.
+//
+// Training runs against the deterministic simulator (internal/bench owns
+// the loop: build a System whose Factory returns one shared QScheduler in
+// training mode, replay seeded traces for a few episodes, freeze). All
+// randomness comes from the seeded exploration source, so training is
+// exactly reproducible.
+
+import (
+	"math/rand"
+
+	"lighttrader/internal/cgra"
+)
+
+// QConfig parameterises the tabular learner.
+type QConfig struct {
+	// QueueBuckets, SlackBuckets and PowerBuckets size the state
+	// discretisation (log₂ queue depth × log₂ deadline-slack ratio ×
+	// top-state power headroom).
+	QueueBuckets, SlackBuckets, PowerBuckets int
+	// Alpha is the learning rate, Gamma the discount, Epsilon the
+	// ε-greedy exploration rate while training.
+	Alpha, Gamma, Epsilon float64
+	// MissPenalty is the negative reward per deferred query.
+	MissPenalty float64
+	// Seed drives the exploration source; training is reproducible per seed.
+	Seed int64
+}
+
+// DefaultQConfig returns the configuration the bench yardstick trains with.
+func DefaultQConfig() QConfig {
+	return QConfig{
+		QueueBuckets: 6, SlackBuckets: 6, PowerBuckets: 5,
+		Alpha: 0.2, Gamma: 0.9, Epsilon: 0.1,
+		MissPenalty: 4,
+		Seed:        1,
+	}
+}
+
+// QScheduler is the tabular Q-learning policy. A freshly built instance
+// (zero table, training off) degenerates to "first feasible candidate in
+// table order"; call Train via the bench harness to give it a policy. A
+// frozen (non-training) instance is read-only in Decide and therefore safe
+// to share across serving lanes.
+type QScheduler struct {
+	cfg  *Config
+	qcfg QConfig
+
+	dvfs    []cgra.DVFSState
+	batches []int
+	actions int // len(dvfs)*len(batches) issue actions + 1 defer action
+
+	q      []float64 // state-major: q[state*actions+action]
+	visits []int
+
+	training bool
+	rng      *rand.Rand
+
+	// last is the pending (state, action, reward) transition awaiting its
+	// successor state for the Q update.
+	last struct {
+		state, action int
+		reward        float64
+		valid         bool
+	}
+
+	minTotal int64
+	topBusy  float64
+}
+
+// NewQScheduler builds a Q-table policy bound to cfg. The action space is
+// cfg's own candidate ladder, so a table trained for one Config only
+// applies to that Config.
+func NewQScheduler(cfg *Config, qcfg QConfig) *QScheduler {
+	s := &QScheduler{
+		cfg:     cfg,
+		qcfg:    qcfg,
+		dvfs:    cfg.dvfsOptions(),
+		batches: cfg.batchOptions(),
+		rng:     rand.New(rand.NewSource(qcfg.Seed)),
+	}
+	s.actions = len(s.dvfs)*len(s.batches) + 1
+	states := qcfg.QueueBuckets * qcfg.SlackBuckets * qcfg.PowerBuckets
+	s.q = make([]float64, states*s.actions)
+	s.visits = make([]int, states)
+	s.minTotal = cfg.MinTotalNanos()
+	if s.minTotal < 1 {
+		s.minTotal = 1
+	}
+	top := s.dvfs[len(s.dvfs)-1]
+	s.topBusy = cfg.BusyPower(top)
+	if s.topBusy <= 0 {
+		s.topBusy = 1
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *QScheduler) Name() string { return "qtable" }
+
+// SetTraining switches ε-greedy exploration and Q updates on or off.
+func (s *QScheduler) SetTraining(on bool) {
+	s.training = on
+	if !on {
+		s.last.valid = false
+	}
+}
+
+// StatesVisited reports how many discrete states have been acted from —
+// a coverage signal for the training loop.
+func (s *QScheduler) StatesVisited() int {
+	n := 0
+	for _, v := range s.visits {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// deferAction is the forced action index when no candidate is feasible.
+func (s *QScheduler) deferAction() int { return s.actions - 1 }
+
+// bucketLog2 maps v ≥ 0 onto one of n log₂-spaced buckets.
+func bucketLog2(v, n int) int {
+	b := 0
+	for v > 1 && b < n-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// stateOf discretises a context.
+func (s *QScheduler) stateOf(ctx SchedContext) int {
+	qb := bucketLog2(ctx.Queued, s.qcfg.QueueBuckets)
+	slack := 0
+	if ctx.AvailNanos > 0 {
+		slack = int(ctx.AvailNanos / s.minTotal)
+	}
+	sb := bucketLog2(slack, s.qcfg.SlackBuckets)
+	pw := 0
+	if ctx.PowerAvailWatts > 0 {
+		pw = int(ctx.PowerAvailWatts / s.topBusy)
+	}
+	if pw > s.qcfg.PowerBuckets-1 {
+		pw = s.qcfg.PowerBuckets - 1
+	}
+	return (qb*s.qcfg.SlackBuckets+sb)*s.qcfg.PowerBuckets + pw
+}
+
+// candidate is one feasible action at decision time.
+type qCandidate struct {
+	action int
+	issue  Issue
+}
+
+// feasible enumerates the masked action set for ctx, in table order.
+func (s *QScheduler) feasible(ctx SchedContext) (cands []qCandidate, deadlineOK bool) {
+	overlap := s.cfg.Link.TransferNanos(s.cfg.Kernel.InputBytes)
+	for di, d := range s.dvfs {
+		var sw int64
+		if d != ctx.Current {
+			sw = s.cfg.Spec.DVFSSwitchNanos - overlap
+			if sw < 0 {
+				sw = 0
+			}
+		}
+		for bi, bs := range s.batches {
+			if bs > ctx.Queued {
+				continue
+			}
+			tTotal := s.cfg.TotalNanos(d, bs) + sw
+			if tTotal >= ctx.AvailNanos {
+				continue
+			}
+			deadlineOK = true
+			if s.cfg.BusyPower(d) >= ctx.PowerAvailWatts {
+				continue
+			}
+			cands = append(cands, qCandidate{
+				action: di*len(s.batches) + bi,
+				issue:  Issue{Batch: bs, DVFS: d, SwitchNanos: sw, TotalNanos: tTotal},
+			})
+		}
+	}
+	return cands, deadlineOK
+}
+
+// maxQ returns the highest Q value over the given actions at state.
+func (s *QScheduler) maxQ(state int, cands []qCandidate) float64 {
+	if len(cands) == 0 {
+		return s.q[state*s.actions+s.deferAction()]
+	}
+	best := s.q[state*s.actions+cands[0].action]
+	for _, c := range cands[1:] {
+		if v := s.q[state*s.actions+c.action]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// update applies the pending transition's Q update, bootstrapping from the
+// successor state's masked action set.
+func (s *QScheduler) update(nextState int, nextCands []qCandidate) {
+	if !s.last.valid {
+		return
+	}
+	idx := s.last.state*s.actions + s.last.action
+	target := s.last.reward + s.qcfg.Gamma*s.maxQ(nextState, nextCands)
+	s.q[idx] += s.qcfg.Alpha * (target - s.q[idx])
+	s.last.valid = false
+}
+
+// EndEpisode flushes the pending transition with no successor (terminal
+// bootstrap of zero). Call between training episodes.
+func (s *QScheduler) EndEpisode() {
+	if !s.last.valid {
+		return
+	}
+	idx := s.last.state*s.actions + s.last.action
+	s.q[idx] += s.qcfg.Alpha * (s.last.reward - s.q[idx])
+	s.last.valid = false
+}
+
+// Decide implements Scheduler: mask infeasible actions, act greedily on the
+// table (ε-greedy while training), and learn from the reward stream.
+func (s *QScheduler) Decide(ctx SchedContext) Decision {
+	if ctx.Queued <= 0 {
+		return Decision{Verdict: VerdictNoQueue}
+	}
+	state := s.stateOf(ctx)
+	cands, deadlineOK := s.feasible(ctx)
+	if s.training {
+		s.update(state, cands)
+		s.visits[state]++
+	}
+	if len(cands) == 0 {
+		v := VerdictDeadlineInfeasible
+		if deadlineOK {
+			v = VerdictPowerInfeasible
+		}
+		if s.training {
+			s.last.state = state
+			s.last.action = s.deferAction()
+			s.last.reward = -s.qcfg.MissPenalty
+			s.last.valid = true
+		}
+		return Decision{Verdict: v}
+	}
+	pick := cands[0]
+	if s.training && s.rng.Float64() < s.qcfg.Epsilon {
+		pick = cands[s.rng.Intn(len(cands))]
+	} else {
+		bestQ := s.q[state*s.actions+pick.action]
+		for _, c := range cands[1:] {
+			if v := s.q[state*s.actions+c.action]; v > bestQ {
+				bestQ = v
+				pick = c
+			}
+		}
+	}
+	if s.training {
+		s.last.state = state
+		s.last.action = pick.action
+		s.last.reward = float64(pick.issue.Batch)
+		s.last.valid = true
+	}
+	return Decision{Issue: pick.issue, Verdict: VerdictIssued}
+}

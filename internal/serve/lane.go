@@ -28,6 +28,10 @@ type lane struct {
 	id    int
 	srv   *Server
 	pipes []*core.Pipeline
+	// policy is this lane's admission strategy (built once per lane from
+	// Config.Scheduler; nil without a scheduling config). Decide is only
+	// called under l.mu, so lane-local policies need no further locking.
+	policy sched.Scheduler
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -53,6 +57,11 @@ func newLane(id int, s *Server) *lane {
 	l.cond = sync.NewCond(&l.mu)
 	if s.cfg.Sched != nil {
 		l.state = startState(s.cfg.Sched)
+		if s.cfg.Scheduler != nil {
+			l.policy = s.cfg.Scheduler(s.cfg.Sched)
+		} else {
+			l.policy = sched.NewPPWScheduler(s.cfg.Sched)
+		}
 	}
 	return l
 }
@@ -171,9 +180,17 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 			}
 			oldest := l.queue[0]
 			avail := oldest.deadline - now
+			dec := l.policy.Decide(sched.SchedContext{
+				NowNanos:        now,
+				Queued:          len(l.queue),
+				AvailNanos:      avail,
+				PowerAvailWatts: l.srv.power.availFor(l.id),
+				Current:         l.state,
+				AccelID:         l.id,
+				IdleAccels:      1, // each lane decides only for itself
+			})
 			var verdict sched.Verdict
-			issue, verdict = sched.PickIssueExplained(
-				cfg, len(l.queue), avail, l.srv.power.availFor(l.id), l.state)
+			issue, verdict = dec.Issue, dec.Verdict
 			if verdict == sched.VerdictIssued {
 				batch = append(batch, l.queue[:issue.Batch]...)
 				l.queue = l.queue[issue.Batch:]
@@ -205,7 +222,7 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 			}
 			l.srv.probe.query(sim.QueryEvent{
 				TimeNanos: now, Kind: sim.QueryDefer, Query: simQuery(oldest),
-				Accel: -1, Cause: deferCause(verdict),
+				Accel: -1, Cause: verdict.DeferCause(),
 			})
 		}
 		if l.closed || !wait {
@@ -280,17 +297,5 @@ func (l *lane) drain() {
 	defer l.mu.Unlock()
 	for (len(l.queue) > 0 || l.inflight) && !l.closed {
 		l.cond.Wait()
-	}
-}
-
-// deferCause maps Algorithm 1's verdict onto the probe event taxonomy.
-func deferCause(v sched.Verdict) sim.DeferCause {
-	switch v {
-	case sched.VerdictDeadlineInfeasible:
-		return sim.CauseDeadline
-	case sched.VerdictPowerInfeasible:
-		return sim.CausePower
-	default:
-		return sim.CauseNone
 	}
 }

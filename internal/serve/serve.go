@@ -60,6 +60,12 @@ type Config struct {
 	// latency tables and drops queries no candidate can serve in time.
 	// When nil every query is served (batch = whole backlog, no deadlines).
 	Sched *sched.Config
+	// Scheduler selects the admission strategy each lane runs when Sched is
+	// non-nil. nil selects the paper's proactive PPW scheduler (Algorithm 1).
+	// The factory is invoked once per lane, so stateful policies stay
+	// lane-local; a factory returning a shared frozen instance (the trained
+	// Q-table) must be read-only in Decide.
+	Scheduler sched.Factory
 	// TAvailNanos is the deadline budget granted to queries submitted
 	// without an explicit deadline. 0 means no deadline (infinite budget).
 	TAvailNanos int64
@@ -117,8 +123,13 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 	if cfg.MaxQueue < 0 {
 		return nil, fmt.Errorf("serve: negative queue bound %d", cfg.MaxQueue)
 	}
-	if cfg.Sched != nil && cfg.Sched.Kernel == nil {
-		return nil, errors.New("serve: scheduling config carries no kernel")
+	if cfg.Sched != nil {
+		if err := cfg.Sched.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	if cfg.TAvailNanos < 0 {
+		return nil, fmt.Errorf("serve: negative deadline budget %d ns", cfg.TAvailNanos)
 	}
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 64

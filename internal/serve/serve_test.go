@@ -305,8 +305,10 @@ func TestServeAdmissionDropsDeadline(t *testing.T) {
 	}
 }
 
-// TestServeAdmissionDropsPower zeroes the shared budget: deadline-feasible
-// candidates exist (no deadline at all) but power blocks every issue.
+// TestServeAdmissionDropsPower starves the shared budget: deadline-feasible
+// candidates exist (no deadline at all) but power blocks every issue. The
+// budget is a positive sliver (zero is rejected at construction) far below
+// any operating point's busy power.
 func TestServeAdmissionDropsPower(t *testing.T) {
 	syms := []string{"ESU6"}
 	packets := buildMarket(t, syms, 40)
@@ -316,7 +318,7 @@ func TestServeAdmissionDropsPower(t *testing.T) {
 		t.Fatal(err)
 	}
 	starved := syscfg.Sched
-	starved.PowerBudgetWatts = 0
+	starved.PowerBudgetWatts = 0.001
 	probe := &countProbe{}
 	srv, err := New(buildMulti(t, syms), Config{Sched: &starved, Probe: probe})
 	if err != nil {

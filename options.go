@@ -32,6 +32,28 @@ func NewTracer() *Tracer { return sim.NewTracer() }
 // Policy selects Algorithm 1's issue objective (PPW by default).
 type Policy = sched.Policy
 
+// Scheduler is a pluggable scheduling strategy: the engine asks it, once per
+// idle accelerator, what to issue. See WithScheduler.
+type Scheduler = sched.Scheduler
+
+// SchedulerFactory builds a Scheduler bound to a scheduling config. Engines
+// invoke it at construction/reset time (once per serving lane, once per
+// simulator reset), so stateful policies start each run fresh.
+type SchedulerFactory = sched.Factory
+
+// SchedContext is the observed state one scheduling decision is made from.
+type SchedContext = sched.SchedContext
+
+// SchedDecision is a Scheduler's answer: the issue plus the explained verdict.
+type SchedDecision = sched.Decision
+
+// SchedulerByName resolves a registered policy name ("ppw", "fcfs", "greedy",
+// "rr", "sjf", "qtable") to its factory — the -scheduler flag vocabulary.
+func SchedulerByName(name string) (SchedulerFactory, error) { return sched.FactoryByName(name) }
+
+// SchedulerNames returns the registered scheduling policy names, sorted.
+func SchedulerNames() []string { return sched.SchedulerNames() }
+
 // Precision selects the accelerator execution data type.
 type Precision = cgra.Precision
 
@@ -122,6 +144,22 @@ func WithBatchOptions(batches []int) Option {
 // WithPolicy overrides Algorithm 1's issue objective.
 func WithPolicy(p Policy) Option { return func(c *config) { c.schedOpts.Policy = p } }
 
+// WithScheduler swaps the scheduling strategy itself (default: the paper's
+// proactive PPW scheduler). Resolve named policies with SchedulerByName.
+// Selecting a scheduler implies admission control, so it enables workload
+// scheduling when neither scheduling feature was requested.
+func WithScheduler(f SchedulerFactory) Option {
+	return func(c *config) {
+		c.schedOpts.Scheduler = f
+		if f != nil && !c.schedOpts.WorkloadScheduling && !c.schedOpts.DVFSScheduling {
+			c.schedOpts.WorkloadScheduling = true
+		}
+		if f != nil {
+			c.admission = true
+		}
+	}
+}
+
 // WithPrecision selects the accelerator execution data type (default BF16).
 func WithPrecision(p Precision) Option { return func(c *config) { c.schedOpts.Precision = p } }
 
@@ -202,6 +240,7 @@ func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 		scfg.Sched = &syscfg.Sched
+		scfg.Scheduler = syscfg.Scheduler
 	}
 	return serve.New(mp, scfg)
 }
