@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched sched-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout sched-smoke fanout-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench: bench-sched
 bench-sched:
 	$(GO) run ./cmd/ltbench -schedjson BENCH_sched.json
 
+# The signal fan-out experiment: propagation percentiles and conflation
+# drops at 1k/10k/100k subscribers, the 1→8 shard sweep (modelled
+# throughput), and the faultnet chaos scenario, archived as JSON. See
+# EXPERIMENTS.md.
+bench-fanout:
+	$(GO) run ./cmd/ltbench -fanoutjson BENCH_fanout.json
+
 # Every benchmark in the repo (including the sim-engine harness).
 bench-all:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
@@ -68,6 +75,14 @@ sched-smoke:
 	$(GO) test -run 'TestSchedMatrix|TestEveryPolicyRespectsEngineInvariants' \
 		./internal/bench/ ./internal/core/
 
+# Fan-out smoke: a scaled-down signal-gateway experiment (scale rows, shard
+# sweep, faultnet chaos) with exact delivery/drop accounting, plus the
+# AllocsPerRun gates proving the lane-side publish hook is 0 allocs/op both
+# idle and with live subscribers.
+fanout-smoke:
+	$(GO) test -run 'TestFanoutSmoke' ./internal/bench/
+	$(GO) test -run 'TestPublishZeroAlloc' ./internal/signal/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -77,10 +92,13 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacket$$ -fuzztime=10s ./internal/sbe/
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodeMessage$$ -fuzztime=10s ./internal/sbe/
 	$(GO) test -run=^$$ -fuzz=^FuzzDecodePacketParity$$ -fuzztime=10s ./internal/sbe/
+	$(GO) test -run=^$$ -fuzz=^FuzzDecodeFrame$$ -fuzztime=10s ./internal/signal/
 
 # The full CI gate: formatting, static analysis, build, the API snapshot,
 # the test suite under the race detector (which covers the concurrent
-# serving runtime in internal/serve), single-iteration benchmark smoke
-# runs (kernels and the zero-alloc tick path), the scheduling policy-matrix
-# smoke, and a short fuzz pass over the wire decoders.
-ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fuzz-smoke
+# serving runtime in internal/serve and the signal gateway), single-
+# iteration benchmark smoke runs (kernels and the zero-alloc tick path),
+# the scheduling policy-matrix smoke, the signal fan-out smoke with its
+# publish-hook allocation gate, and a short fuzz pass over the wire
+# decoders.
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke fuzz-smoke

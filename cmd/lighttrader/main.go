@@ -11,14 +11,18 @@
 //	lighttrader -trace ticks.lttr -system gpu
 //	lighttrader -ticks 50000 -tavail 20ms -seed 7
 //	lighttrader -serve -symbols 8 -accels 8
+//	lighttrader -signal-listen :9000 -symbols 4
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lighttrader"
@@ -39,6 +43,7 @@ func main() {
 	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
 	serveMode := flag.Bool("serve", false, "drive the concurrent serving runtime instead of a back-test")
 	symbols := flag.Int("symbols", 8, "subscribed instruments (-serve mode)")
+	signalListen := flag.String("signal-listen", "", "serve the live trade-signal stream on this TCP address (paced synthetic feed; Ctrl-C to stop)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -61,6 +66,11 @@ func main() {
 			fatal(err)
 		}
 		schedOpt = append(schedOpt, lighttrader.WithScheduler(factory))
+	}
+
+	if *signalListen != "" {
+		runSignalListen(*signalListen, *symbols, *accels, *ticks, *seed)
+		return
 	}
 
 	if *serveMode {
@@ -232,6 +242,108 @@ func runServe(symbols, lanes, total int, seed int64, pc lighttrader.PowerConditi
 	}
 	fmt.Println("\nModelled makespan is the accelerator-time model (wall clock depends on")
 	fmt.Println("host cores); single-lane output is byte-identical to the serial path.")
+}
+
+// runSignalListen is the live signal-distribution mode: the serving
+// runtime replays a paced synthetic multi-instrument feed with the signal
+// gateway attached, while the gateway serves the conflated trade-signal
+// stream to TCP subscribers on addr (see examples/signals for a client).
+// After the replay the gateway keeps serving — late joiners warm-start on
+// each symbol's latest value — until interrupted.
+func runSignalListen(addr string, symbols, lanes, total int, seed int64) {
+	if symbols < 1 || lanes < 1 {
+		fatal(fmt.Errorf("-signal-listen needs -symbols >= 1 and -accels >= 1"))
+	}
+	events := total / symbols
+	if events < 300 {
+		events = 300
+	}
+	traces := make([][]lighttrader.Tick, symbols)
+	for i := range traces {
+		cfg := lighttrader.DefaultTraceConfig()
+		cfg.Symbol = fmt.Sprintf("SIM%d", i+1)
+		cfg.SecurityID = int32(i + 1)
+		cfg.Seed = seed + int64(i)
+		traces[i] = lighttrader.GenerateTrace(cfg, events)
+	}
+	mp := lighttrader.NewMultiPipeline()
+	for i := range traces {
+		tcfg := lighttrader.DefaultTradingConfig(int32(i + 1))
+		tcfg.MinConfidence = 0.2
+		if err := mp.Add(fmt.Sprintf("SIM%d", i+1), int32(i+1),
+			lighttrader.NewSizedCNN("serve", 8, 0),
+			lighttrader.CalibrateNormalizer(traces[i]), tcfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	gw, err := lighttrader.NewSignalGateway(lighttrader.SignalGatewayConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	defer gw.Close()
+	log := lighttrader.NewOrderLog()
+	srv, err := lighttrader.NewServer(mp,
+		lighttrader.WithAccelerators(lanes),
+		lighttrader.WithWorkloadScheduling(),
+		lighttrader.WithMaxQueue(symbols*events+1),
+		lighttrader.WithOrderSink(log.Sink()),
+		lighttrader.WithSignalGateway(gw),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = gw.Serve(ctx, ln) }()
+	go func() { defer close(runDone); _ = srv.Run(ctx) }()
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Printf("signal gateway listening on %s (%d symbols, %d lanes, %d shards)\n",
+		ln.Addr(), symbols, lanes, gw.Shards())
+	fmt.Printf("replaying %d packets paced at ~5k/s; Ctrl-C to stop\n", symbols*events)
+
+	pace := time.NewTicker(200 * time.Microsecond)
+	defer pace.Stop()
+replay:
+	for j := 0; j < events; j++ {
+		for i := range traces {
+			select {
+			case <-interrupted:
+				break replay
+			case <-pace.C:
+			}
+			if err := srv.Submit(traces[i][j].TimeNanos, traces[i][j].Packet); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	srv.Drain()
+	gw.Drain()
+
+	st := srv.Stats()
+	gs := gw.Stats()
+	fmt.Printf("\nreplay done: served %d/%d, orders %d\n", st.Served, st.Submitted, log.Total())
+	fmt.Printf("signals: published %d, delivered %d, conflation drops %d\n",
+		gs.Published, gs.Delivered, gs.ConflationDrops)
+	fmt.Printf("conns: open %d, total %d, dropped %d; subscribers %d\n",
+		gs.ConnsOpen, gs.ConnsTotal, gs.ConnsDropped, gs.Subscribers)
+	fmt.Println("gateway still serving (late joiners warm-start); Ctrl-C to exit")
+	<-interrupted
+
+	cancel()
+	gw.Close()
+	<-serveDone
+	<-runDone
 }
 
 func laneSweep(lanes int) []int {

@@ -10,6 +10,7 @@
 //	ltbench -trace out.jsonl     # instrumented run: event log + miss attribution
 //	ltbench -scheduler fcfs      # scheduling strategy for the -trace run
 //	ltbench -schedjson out.json  # archive the sched-matrix rows as JSON
+//	ltbench -fanoutjson out.json # archive the signal fan-out rows as JSON
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
 //	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
@@ -43,6 +44,7 @@ func main() {
 	trace := flag.String("trace", "", "write an instrumented-run event log (JSONL) to this path")
 	scheduler := flag.String("scheduler", "", "scheduling strategy for the -trace run: "+strings.Join(sched.SchedulerNames(), ", ")+" (default ppw)")
 	schedjson := flag.String("schedjson", "", "run the sched-matrix experiment and write its rows as JSON to this path")
+	fanoutjson := flag.String("fanoutjson", "", "run the signal fan-out experiment and write its rows as JSON to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -76,6 +78,16 @@ func main() {
 	if *schedjson != "" {
 		if err := writeSchedJSON(tc, *schedjson); err != nil {
 			fmt.Fprintf(os.Stderr, "schedjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace == "" && *fanoutjson == "" && strings.EqualFold(*exp, "all") {
+			return // archive run: don't also regenerate the whole suite
+		}
+	}
+
+	if *fanoutjson != "" {
+		if err := writeFanoutJSON(*fanoutjson); err != nil {
+			fmt.Fprintf(os.Stderr, "fanoutjson: %v\n", err)
 			os.Exit(1)
 		}
 		if *trace == "" && strings.EqualFold(*exp, "all") {
@@ -166,6 +178,24 @@ func writeTrace(tc bench.TrafficConfig, path, scheduler string) error {
 	fmt.Print(indent(tr.Summary()))
 	fmt.Printf("  event log written to %s\n", path)
 	fmt.Printf("[trace completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeFanoutJSON runs the signal fan-out experiment and archives its rows.
+func writeFanoutJSON(path string) error {
+	start := time.Now()
+	cfg := bench.FanoutConfig{}
+	rows := bench.RunFanout(cfg)
+	data, err := bench.FanoutJSON(cfg, rows)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFanout(rows))
+	fmt.Printf("fan-out rows written to %s\n", path)
+	fmt.Printf("[fanout completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,79 @@
+// Signals: a terminal subscriber for the trade-signal gateway.
+//
+// Start the gateway side in one shell:
+//
+//	go run ./cmd/lighttrader -signal-listen 127.0.0.1:9000 -symbols 4
+//
+// then attach any number of subscribers:
+//
+//	go run ./examples/signals -addr 127.0.0.1:9000 -symbols SIM1,SIM2
+//
+// Each subscriber receives the conflated stream: always the newest signal
+// per symbol, never a backlog. Seq gaps are the updates conflated away
+// while this consumer (or its link) was slower than the publisher — the
+// client counts them as GapDrops. Kill and restart the gateway to watch
+// the reconnect ladder (capped exponential backoff) and the warm-start on
+// resubscribe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lighttrader"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "signal gateway address")
+	symbols := flag.String("symbols", "SIM1", "comma-separated symbols to subscribe")
+	quiet := flag.Bool("quiet", false, "suppress per-signal lines (stats only)")
+	flag.Parse()
+
+	cli := lighttrader.NewSignalClient(lighttrader.SignalClientConfig{
+		Addr:    *addr,
+		Symbols: strings.Split(*symbols, ","),
+		OnSignal: func(sig lighttrader.TradeSignal) {
+			if *quiet {
+				return
+			}
+			fmt.Printf("%-6s seq=%-6d action=%d conf=%.2f bid=%d ask=%d last=%d lag=%s\n",
+				sig.Symbol, sig.Seq, sig.Action, sig.Confidence,
+				sig.BidPrice, sig.AskPrice, sig.LastTrade,
+				time.Duration(time.Now().UnixNano()-sig.PublishNanos).Round(time.Microsecond))
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = cli.Run(ctx) }()
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := cli.Stats()
+			fmt.Fprintf(os.Stderr,
+				"-- dials %d, sessions %d, received %d, gap drops %d, heartbeats %d\n",
+				st.Dials, st.Sessions, st.SignalsReceived, st.GapDrops, st.HeartbeatsSent)
+		case <-interrupted:
+			cancel()
+			<-done
+			st := cli.Stats()
+			fmt.Printf("\nfinal: received %d signals, %d conflated away upstream\n",
+				st.SignalsReceived, st.GapDrops)
+			return
+		}
+	}
+}

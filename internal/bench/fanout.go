@@ -1,0 +1,356 @@
+package bench
+
+// The signal-distribution fan-out experiment: how the sharded, conflated
+// gateway behaves as subscriber count scales to 100k and as the shard
+// count sweeps 1→8. Subscriber-scale rows report propagation percentiles
+// (publish → in-process delivery) and the conflation-drop accounting;
+// shard-sweep rows report modelled fan-out throughput — deliveries per
+// second of critical-path shard time, the same modelled-makespan
+// methodology as serve.ModelledBusyNanos, which is what parallel capacity
+// means on a single-core container. A chaos row pushes the stream through
+// faultnet-wrapped TCP sessions with a stalled reader to show drops stay
+// confined to the broken connection. `make bench-fanout` archives the rows
+// as BENCH_fanout.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/faultnet"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/signal"
+)
+
+// FanoutConfig parameterises the fan-out experiment.
+type FanoutConfig struct {
+	// Symbols is the registered instrument count (0 selects 16).
+	Symbols int
+	// Publishes is the number of publish rounds per symbol; every round is
+	// drained before the next so each one is a full fan-out (0 selects 50).
+	Publishes int
+	// SubscriberScale is the subscriber-count sweep at a fixed 8 shards
+	// (nil selects 1k, 10k, 100k).
+	SubscriberScale []int
+	// ShardSweep is the shard-count sweep at ShardSubscribers subscribers
+	// (nil selects 1, 2, 4, 8).
+	ShardSweep []int
+	// ShardSubscribers is the subscriber count held fixed across the shard
+	// sweep (0 selects 10k).
+	ShardSubscribers int
+}
+
+func (c FanoutConfig) withDefaults() FanoutConfig {
+	if c.Symbols == 0 {
+		c.Symbols = 16
+	}
+	if c.Publishes == 0 {
+		c.Publishes = 50
+	}
+	if c.SubscriberScale == nil {
+		c.SubscriberScale = []int{1_000, 10_000, 100_000}
+	}
+	if c.ShardSweep == nil {
+		c.ShardSweep = []int{1, 2, 4, 8}
+	}
+	if c.ShardSubscribers == 0 {
+		c.ShardSubscribers = 10_000
+	}
+	return c
+}
+
+// FanoutRow is one scenario of the fan-out experiment.
+type FanoutRow struct {
+	Scenario    string `json:"scenario"` // scale | shards | chaos
+	Shards      int    `json:"shards"`
+	Subscribers int    `json:"subscribers"`
+	Symbols     int    `json:"symbols"`
+	Publishes   int    `json:"publishes_per_symbol"`
+	Published   uint64 `json:"published"`
+	Delivered   uint64 `json:"delivered"`
+	Drops       uint64 `json:"conflation_drops"`
+	// Propagation percentiles, publish hook → in-process delivery, ns.
+	P50Nanos  int64 `json:"p50_ns"`
+	P99Nanos  int64 `json:"p99_ns"`
+	P999Nanos int64 `json:"p999_ns"`
+	MaxNanos  int64 `json:"max_ns"`
+	// DeliveriesPerSec is modelled fan-out throughput: total deliveries
+	// over the busiest shard's accumulated service time (the critical path
+	// of a parallel execution).
+	DeliveriesPerSec float64 `json:"modelled_deliveries_per_sec"`
+	// Speedup is DeliveriesPerSec relative to the 1-shard row of the same
+	// sweep (0 outside the shards scenario).
+	Speedup float64 `json:"speedup_vs_1_shard,omitempty"`
+	// Chaos-scenario counters (zero elsewhere).
+	ConnsDropped  uint64 `json:"conns_dropped,omitempty"`
+	HealthyWireRx uint64 `json:"healthy_wire_received,omitempty"`
+}
+
+// fanoutEvent synthesises one publish-round payload.
+func fanoutEvent(round, sym int) core.SignalEvent {
+	px := int64(100_000 + 10*sym + round%7)
+	return core.SignalEvent{
+		Action: nn.Direction(round % 3), Confidence: 0.75,
+		BidPrice: px - 5, BidQty: 3, AskPrice: px + 5, AskQty: 2,
+		LastTrade: px, TickNanos: int64(round),
+	}
+}
+
+// runFanoutCell measures one (shards, subscribers) point: register Symbols
+// streams, attach n never-reading in-process subscribers round-robin, then
+// run Publishes drained rounds so every round fans out to every subscriber.
+func runFanoutCell(scenario string, shards, subscribers int, cfg FanoutConfig) FanoutRow {
+	g, err := signal.NewGateway(signal.Config{Shards: shards})
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close()
+	pubs := make([]*signal.Publisher, cfg.Symbols)
+	for i := range pubs {
+		if pubs[i], err = g.Register(fmt.Sprintf("SYM%03d", i), int32(i+1)); err != nil {
+			panic(err)
+		}
+	}
+	subs := make([]*signal.Subscription, subscribers)
+	for i := range subs {
+		if subs[i], err = g.Subscribe(fmt.Sprintf("SYM%03d", i%cfg.Symbols)); err != nil {
+			panic(err)
+		}
+	}
+	for r := 1; r <= cfg.Publishes; r++ {
+		for s, p := range pubs {
+			p.Publish(fanoutEvent(r, s))
+		}
+		g.Drain()
+	}
+	st := g.Stats()
+	prop := g.Propagation()
+	row := FanoutRow{
+		Scenario: scenario, Shards: shards, Subscribers: subscribers,
+		Symbols: cfg.Symbols, Publishes: cfg.Publishes,
+		Published: st.Published, Delivered: st.Delivered, Drops: st.ConflationDrops,
+		P50Nanos: prop.P50, P99Nanos: prop.P99, P999Nanos: prop.P999, MaxNanos: prop.Max,
+	}
+	var maxBusy int64
+	for _, b := range g.ShardBusyNanos() {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	if maxBusy > 0 {
+		row.DeliveriesPerSec = float64(st.Delivered) / (float64(maxBusy) / 1e9)
+	}
+	for _, sub := range subs {
+		sub.Close()
+	}
+	return row
+}
+
+// runFanoutChaos routes the stream over real TCP sessions through faultnet
+// wrappers: three healthy wire subscribers behind 1..3-byte write splits
+// and one that subscribes, heartbeats, and never reads. The stalled
+// connection must be dropped by the write deadline while every healthy
+// session keeps receiving.
+func runFanoutChaos(cfg FanoutConfig) FanoutRow {
+	g, err := signal.NewGateway(signal.Config{
+		Shards:          4,
+		Heartbeat:       100 * time.Millisecond,
+		WriteTimeout:    50 * time.Millisecond,
+		ConnWriteBuffer: 4096,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close()
+	pub, err := g.Register("SYM000", 1)
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = g.Serve(ctx, ln) }()
+	defer func() { cancel(); g.Close(); <-serveDone }()
+	addr := ln.Addr().String()
+
+	const healthyClients = 3
+	var rx [healthyClients]uint64
+	var mu sync.Mutex
+	var cliWG sync.WaitGroup
+	for i := 0; i < healthyClients; i++ {
+		i := i
+		cli := signal.NewClient(signal.ClientConfig{
+			Symbols: []string{"SYM000"},
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				conn, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return faultnet.WrapConn(conn, faultnet.ConnFaults{Seed: int64(i + 1), MaxChunk: 3}), nil
+			},
+			OnSignal: func(signal.TradeSignal) {
+				mu.Lock()
+				rx[i]++
+				mu.Unlock()
+			},
+			Heartbeat: 100 * time.Millisecond,
+		})
+		cliWG.Add(1)
+		go func() { defer cliWG.Done(); _ = cli.Run(ctx) }()
+	}
+
+	// The stalled reader: subscribe, heartbeat, never read.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		panic(err)
+	}
+	defer stalled.Close()
+	if tc, ok := stalled.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096)
+	}
+	sub, err := signal.AppendSubscribeFrame(nil, "SYM000")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := stalled.Write(sub); err != nil {
+		panic(err)
+	}
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, err := stalled.Write(signal.AppendHeartbeatFrame(nil)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() { <-hbDone }()
+
+	// Publish until the stalled connection is dropped (bounded by time,
+	// not by hope), then a little longer so healthy sessions demonstrate
+	// continued delivery.
+	deadline := time.Now().Add(15 * time.Second)
+	round := 0
+	for g.Stats().ConnsDropped == 0 && time.Now().Before(deadline) {
+		round++
+		pub.Publish(fanoutEvent(round, 0))
+		if round%64 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		round++
+		pub.Publish(fanoutEvent(round, 0))
+		time.Sleep(time.Millisecond)
+	}
+	g.Drain()
+
+	st := g.Stats()
+	prop := g.Propagation()
+	row := FanoutRow{
+		Scenario: "chaos", Shards: 4, Subscribers: healthyClients + 1, Symbols: 1,
+		Publishes: round, Published: st.Published, Delivered: st.Delivered,
+		Drops:    st.ConflationDrops,
+		P50Nanos: prop.P50, P99Nanos: prop.P99, P999Nanos: prop.P999, MaxNanos: prop.Max,
+		ConnsDropped: st.ConnsDropped,
+	}
+	mu.Lock()
+	for _, n := range rx {
+		row.HealthyWireRx += n
+	}
+	mu.Unlock()
+	cancel()
+	cliWG.Wait()
+	return row
+}
+
+// RunFanout runs the full experiment: the subscriber-count scale-up at 8
+// shards, the shard sweep with speedups against the 1-shard baseline, and
+// the faultnet chaos scenario.
+func RunFanout(cfg FanoutConfig) []FanoutRow {
+	cfg = cfg.withDefaults()
+	var rows []FanoutRow
+	for _, n := range cfg.SubscriberScale {
+		rows = append(rows, runFanoutCell("scale", 8, n, cfg))
+	}
+	var base float64
+	for _, s := range cfg.ShardSweep {
+		row := runFanoutCell("shards", s, cfg.ShardSubscribers, cfg)
+		if s == 1 {
+			base = row.DeliveriesPerSec
+		}
+		if base > 0 {
+			row.Speedup = row.DeliveriesPerSec / base
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, runFanoutChaos(cfg))
+	return rows
+}
+
+// RenderFanout renders the experiment table.
+func RenderFanout(rows []FanoutRow) string {
+	var b strings.Builder
+	header(&b, "Signal fan-out: conflated delivery vs subscribers and shards")
+	fmt.Fprintf(&b, "%-8s %7s %11s %10s %10s %10s %9s %9s %9s %12s %7s\n",
+		"scenario", "shards", "subscribers", "published", "delivered", "drops",
+		"p50", "p99", "p99.9", "deliv/s", "speedup")
+	for _, r := range rows {
+		speedup := ""
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&b, "%-8s %7d %11d %10d %10d %10d %9s %9s %9s %12.0f %7s\n",
+			r.Scenario, r.Shards, r.Subscribers, r.Published, r.Delivered, r.Drops,
+			ns(r.P50Nanos), ns(r.P99Nanos), ns(r.P999Nanos), r.DeliveriesPerSec, speedup)
+	}
+	b.WriteString("\nscale rows: in-process subscribers at 8 shards; every publish round is\n")
+	b.WriteString("drained so delivered = rounds x subscribers. shards rows: modelled\n")
+	b.WriteString("throughput = deliveries / busiest shard's service time (critical path).\n")
+	b.WriteString("chaos row: TCP sessions through faultnet 1..3-byte splits plus one\n")
+	b.WriteString("stalled reader - dropped by the write deadline, healthy peers unharmed.\n")
+	return b.String()
+}
+
+// ns renders a nanosecond latency compactly.
+func ns(v int64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// FanoutReport is the archived form of the experiment (BENCH_fanout.json).
+type FanoutReport struct {
+	Symbols   int         `json:"symbols"`
+	Publishes int         `json:"publishes_per_symbol"`
+	Rows      []FanoutRow `json:"rows"`
+}
+
+// FanoutJSON marshals the rows with their generating parameters.
+func FanoutJSON(cfg FanoutConfig, rows []FanoutRow) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	rep := FanoutReport{Symbols: cfg.Symbols, Publishes: cfg.Publishes, Rows: rows}
+	return json.MarshalIndent(rep, "", "  ")
+}

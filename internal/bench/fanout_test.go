@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFanoutSmoke runs a scaled-down fan-out experiment end to end — scale
+// rows, shard sweep, and the faultnet chaos scenario — and checks the
+// accounting invariants that make the full run trustworthy.
+func TestFanoutSmoke(t *testing.T) {
+	cfg := FanoutConfig{
+		Symbols:          4,
+		Publishes:        10,
+		SubscriberScale:  []int{50, 500},
+		ShardSweep:       []int{1, 2},
+		ShardSubscribers: 200,
+	}
+	rows := RunFanout(cfg)
+	if len(rows) != len(cfg.SubscriberScale)+len(cfg.ShardSweep)+1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenario == "chaos" {
+			if r.ConnsDropped == 0 {
+				t.Errorf("chaos: stalled connection never dropped: %+v", r)
+			}
+			if r.HealthyWireRx == 0 {
+				t.Errorf("chaos: healthy wire subscribers received nothing: %+v", r)
+			}
+			continue
+		}
+		// Every round drains, so each publish fans out to each subscriber
+		// of its symbol: delivered == publishes * subscribers.
+		want := uint64(cfg.Publishes) * uint64(r.Subscribers)
+		if r.Delivered != want {
+			t.Errorf("%s shards=%d subs=%d: delivered %d, want %d",
+				r.Scenario, r.Shards, r.Subscribers, r.Delivered, want)
+		}
+		if r.Published != uint64(cfg.Publishes*cfg.Symbols) {
+			t.Errorf("%s: published %d", r.Scenario, r.Published)
+		}
+		// Never-reading subscribers conflate everything past their first
+		// buffered value: drops == (publishes-1) * subscribers.
+		if wantDrops := uint64(cfg.Publishes-1) * uint64(r.Subscribers); r.Drops != wantDrops {
+			t.Errorf("%s shards=%d: drops %d, want %d", r.Scenario, r.Shards, r.Drops, wantDrops)
+		}
+		if r.DeliveriesPerSec <= 0 {
+			t.Errorf("%s shards=%d: no modelled throughput", r.Scenario, r.Shards)
+		}
+	}
+
+	data, err := FanoutJSON(cfg, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep FanoutReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(rows) {
+		t.Fatalf("JSON roundtrip lost rows: %d != %d", len(rep.Rows), len(rows))
+	}
+	if out := RenderFanout(rows); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -31,6 +31,11 @@ type Pipeline struct {
 	// measure the conventional pipeline without running inference inline.
 	predict func(t *tensor.Tensor) (nn.Direction, float32, error)
 
+	// sig, when set, receives every inference result (the signal-gateway
+	// publish hook). Called inline on the tick path, so implementations
+	// must be non-blocking and allocation-free.
+	sig SignalHook
+
 	// Local market-by-price book mirror: the HFT-side LOB of §II-A,
 	// reconstructed from incremental refresh messages.
 	bids      [lob.DepthLevels]lob.Level
@@ -90,6 +95,33 @@ func (p *Pipeline) SetLatency(hist *latency.Histogram) { p.lat = hist }
 func (p *Pipeline) SetPredictor(fn func(t *tensor.Tensor) (nn.Direction, float32, error)) {
 	p.predict = fn
 }
+
+// SignalEvent is one inference result as seen on the tick path: the
+// prediction plus the top-of-book context it was made from. It is a flat
+// value type (no pointers into pipeline state) so handing it to a hook
+// cannot make anything escape to the heap — the tick path stays 0-alloc.
+type SignalEvent struct {
+	// Action is the predicted direction; Confidence its probability.
+	Action     nn.Direction
+	Confidence float32
+	// Top-of-book at prediction time.
+	BidPrice, BidQty int64
+	AskPrice, AskQty int64
+	LastTrade        int64
+	// TickNanos is the book-event time the prediction was made from.
+	TickNanos int64
+}
+
+// SignalHook receives every inference result, inline on the tick path.
+// Implementations must never block and never allocate (the signal
+// gateway's Publisher.Publish satisfies both).
+type SignalHook func(SignalEvent)
+
+// SetSignalHook installs fn as the pipeline's inference-result listener
+// (nil detaches). The hook runs on the tick path after the trading
+// decision; its cost is added to tick-to-trade latency, which is why the
+// contract demands non-blocking, 0-alloc implementations.
+func (p *Pipeline) SetSignalHook(fn SignalHook) { p.sig = fn }
 
 // Ticks returns how many book-updating events have been processed.
 func (p *Pipeline) Ticks() int { return p.ticks }
@@ -228,6 +260,18 @@ func (p *Pipeline) onTick(timeNanos int64, dst []exchange.Request) ([]exchange.R
 		p.inferences++
 		if req, ok := p.trader.OnPrediction(dir, conf, snap); ok {
 			dst = append(dst, req)
+		}
+		if p.sig != nil {
+			p.sig(SignalEvent{
+				Action:     dir,
+				Confidence: conf,
+				BidPrice:   p.bids[0].Price,
+				BidQty:     p.bids[0].Qty,
+				AskPrice:   p.asks[0].Price,
+				AskQty:     p.asks[0].Qty,
+				LastTrade:  p.lastTrade,
+				TickNanos:  timeNanos,
+			})
 		}
 	}
 	return dst, nil

@@ -145,6 +145,15 @@ type Stats struct {
 	MeanBatch float64
 	// ResponseRate is Served / Submitted (0 when nothing was submitted).
 	ResponseRate float64
+	// Signal-distribution counters, populated when a signal gateway is
+	// attached (Config.Signals). SignalsPublished counts publish-hook
+	// invocations across symbols, SignalsDelivered counts deliveries to
+	// subscribers, SignalDrops counts updates conflated away; all three are
+	// monotonic. SignalSubscribers is the live subscription count (gauge).
+	SignalsPublished  uint64
+	SignalsDelivered  uint64
+	SignalDrops       uint64
+	SignalSubscribers int
 }
 
 // Dropped returns the total queries dropped without being served.

@@ -31,6 +31,7 @@ import (
 	"lighttrader/internal/lob"
 	"lighttrader/internal/sbe"
 	"lighttrader/internal/sched"
+	"lighttrader/internal/signal"
 	"lighttrader/internal/sim"
 )
 
@@ -82,6 +83,14 @@ type Config struct {
 	// OnOrders receives generated orders. nil discards them (Stats still
 	// counts them).
 	OnOrders OrderSink
+	// Signals, when non-nil, attaches the signal-distribution gateway: New
+	// registers one signal.Publisher per subscription and installs its
+	// Publish as the pipeline's SignalHook, so every inference result is
+	// offered to the gateway's conflated per-symbol streams. With no
+	// subscribers the hook is a counter increment — the tick path keeps its
+	// latency and 0-alloc budget. The Server does not own the gateway's
+	// lifecycle; the caller Closes it.
+	Signals *signal.Gateway
 }
 
 // Server is the serving runtime. Build with New, start lanes with Run (or
@@ -158,7 +167,29 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 		l.pipes = append(l.pipes, p)
 		s.bySec[p.SecurityID()] = l
 	}
+	if cfg.Signals != nil {
+		for _, p := range pipes {
+			pub, err := cfg.Signals.Register(p.Symbol(), p.SecurityID())
+			if err != nil {
+				return nil, fmt.Errorf("serve: signal register: %w", err)
+			}
+			p.SetSignalHook(pub.Publish)
+		}
+	}
 	return s, nil
+}
+
+// Signals returns the attached signal gateway (nil when none).
+func (s *Server) Signals() *signal.Gateway { return s.cfg.Signals }
+
+// Subscribe opens a conflated in-process subscription to one served
+// symbol's signal stream (see signal.Gateway.Subscribe for the
+// latest-value-wins contract). It requires a Config.Signals gateway.
+func (s *Server) Subscribe(symbol string) (*signal.Subscription, error) {
+	if s.cfg.Signals == nil {
+		return nil, errors.New("serve: no signal gateway attached")
+	}
+	return s.cfg.Signals.Subscribe(symbol)
 }
 
 // Lanes returns the effective lane count.
@@ -406,8 +437,19 @@ func (s *Server) OnExecReport(rep exchange.ExecReport) {
 	}
 }
 
-// Stats returns a consistent copy of the runtime counters.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+// Stats returns a consistent copy of the runtime counters. With a signal
+// gateway attached, the signal-distribution counters are folded in.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	if s.cfg.Signals != nil {
+		gs := s.cfg.Signals.Stats()
+		st.SignalsPublished = gs.Published
+		st.SignalsDelivered = gs.Delivered
+		st.SignalDrops = gs.ConflationDrops
+		st.SignalSubscribers = gs.Subscribers
+	}
+	return st
+}
 
 // Latency merges every lane's wall-clock dispatch histogram and returns
 // the combined percentile digest — the serving runtime's measured (not

@@ -1,0 +1,78 @@
+// Package session holds the connection-survival machinery shared by every
+// wire client in the tree: the order-entry trader and the signal-gateway
+// subscriber both reconnect with the same capped-exponential-backoff
+// ladder and enforce the same three-interval keep-alive liveness rule.
+package session
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a capped exponential reconnect backoff with deterministic
+// jitter: Next returns the current delay plus up to 50% random spread (so
+// reconnect storms decorrelate), then doubles the delay up to the cap.
+// Reset rewinds to the minimum after a session proves healthy. Safe for
+// concurrent use.
+type Backoff struct {
+	mu  sync.Mutex
+	min time.Duration
+	max time.Duration
+	cur time.Duration
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff ladder from min to max; non-positive bounds
+// select 50ms and 2s. The seed makes the jitter sequence deterministic.
+func NewBackoff(min, max time.Duration, seed int64) *Backoff {
+	if min <= 0 {
+		min = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	return &Backoff{min: min, max: max, cur: min, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the jittered current delay and advances the ladder.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.cur + time.Duration(b.rng.Float64()*float64(b.cur)/2)
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// Reset rewinds the ladder to the minimum delay.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.cur = b.min
+	b.mu.Unlock()
+}
+
+// Liveness tracks peer keep-alive: Touch on every received byte, Expired
+// reports whether the peer has been silent for three keep-alive intervals
+// — the FIXP-style liveness rule both the order-entry client and the
+// signal-gateway wire sessions enforce. Not safe for concurrent use; each
+// session loop owns its own Liveness.
+type Liveness struct {
+	interval time.Duration
+	lastRecv time.Time
+}
+
+// NewLiveness starts a liveness monitor as of now.
+func NewLiveness(interval time.Duration, now time.Time) *Liveness {
+	return &Liveness{interval: interval, lastRecv: now}
+}
+
+// Touch records peer activity.
+func (l *Liveness) Touch(now time.Time) { l.lastRecv = now }
+
+// Expired reports whether the peer has been silent for three intervals.
+func (l *Liveness) Expired(now time.Time) bool {
+	return now.Sub(l.lastRecv) > 3*l.interval
+}

@@ -1,0 +1,61 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffLadder checks the shape of the ladder: every delay stays
+// within [cur, 1.5*cur], the unjittered base doubles to the cap, and
+// Reset rewinds to the minimum.
+func TestBackoffLadder(t *testing.T) {
+	min, max := 50*time.Millisecond, 2*time.Second
+	b := NewBackoff(min, max, 1)
+	base := min
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		if d < base || d > base+base/2 {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, d, base, base+base/2)
+		}
+		base *= 2
+		if base > max {
+			base = max
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d < min || d > min+min/2 {
+		t.Fatalf("post-Reset delay %v outside [%v, %v]", d, min, min+min/2)
+	}
+}
+
+// TestBackoffDefaults pins the zero-value bounds (50ms, 2s) and that the
+// jitter sequence is deterministic per seed.
+func TestBackoffDefaults(t *testing.T) {
+	a, b := NewBackoff(0, 0, 7), NewBackoff(0, 0, 7)
+	for i := 0; i < 8; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v != %v", i, da, db)
+		}
+		if da < 50*time.Millisecond || da > 3*time.Second {
+			t.Fatalf("step %d: delay %v outside default bounds", i, da)
+		}
+	}
+}
+
+// TestLivenessThreeIntervals pins the FIXP-style rule: silence is
+// tolerated through three keep-alive intervals, expiry strictly after.
+func TestLivenessThreeIntervals(t *testing.T) {
+	start := time.Unix(0, 0)
+	l := NewLiveness(100*time.Millisecond, start)
+	if l.Expired(start.Add(300 * time.Millisecond)) {
+		t.Fatal("expired at exactly three intervals")
+	}
+	if !l.Expired(start.Add(301 * time.Millisecond)) {
+		t.Fatal("not expired past three intervals")
+	}
+	l.Touch(start.Add(301 * time.Millisecond))
+	if l.Expired(start.Add(600 * time.Millisecond)) {
+		t.Fatal("expired despite Touch")
+	}
+}

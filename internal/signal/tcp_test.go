@@ -1,0 +1,297 @@
+package signal
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lighttrader/internal/faultnet"
+	"lighttrader/internal/testutil"
+)
+
+// startWireGateway spins up a gateway serving TCP on 127.0.0.1:0 and
+// returns it with the listen address. Closed via t.Cleanup.
+func startWireGateway(t *testing.T, cfg Config) (*Gateway, string) {
+	t.Helper()
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = g.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		g.Close()
+		<-done
+	})
+	return g, ln.Addr().String()
+}
+
+// TestTCPEndToEnd runs the full wire path — publish hook → shard → conn
+// outbox → length-prefixed TCP → Client — through a faultnet wrapper that
+// splits every write into 1..3 byte chunks, so frames always straddle
+// read boundaries and the ErrShortFrame reassembly path is exercised on
+// both sides.
+func TestTCPEndToEnd(t *testing.T) {
+	leak := testutil.StartLeakCheck()
+	t.Cleanup(func() { leak.Verify(t, 5*time.Second) }) // after gateway teardown (LIFO)
+	g, addr := startWireGateway(t, Config{Shards: 4, Heartbeat: 100 * time.Millisecond})
+	pub, err := g.Register("ESU6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []TradeSignal
+	cli := NewClient(ClientConfig{
+		Symbols: []string{"ESU6"},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.WrapConn(conn, faultnet.ConnFaults{Seed: 7, MaxChunk: 3}), nil
+		},
+		OnSignal: func(sig TradeSignal) {
+			mu.Lock()
+			got = append(got, sig)
+			mu.Unlock()
+		},
+		Heartbeat: 100 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cliDone := make(chan struct{})
+	go func() { defer close(cliDone); _ = cli.Run(ctx) }()
+
+	// The subscribe frame races the first publish; wait for attachment.
+	testutil.WaitFor(t, 5*time.Second, "wire subscriber attached", func() bool {
+		return g.Stats().Subscribers == 1
+	})
+
+	const rounds = 20
+	for i := 1; i <= rounds; i++ {
+		pub.Publish(ev(i))
+		g.Drain()
+		want := uint64(i)
+		testutil.WaitFor(t, 5*time.Second, "client receipt", func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(got) > 0 && got[len(got)-1].Seq == want
+		})
+	}
+
+	mu.Lock()
+	last := got[len(got)-1]
+	total := len(got)
+	mu.Unlock()
+	if last.Symbol != "ESU6" || last.SecurityID != 1 || last.BidPrice != 100+rounds || last.AskPrice != 101+rounds {
+		t.Fatalf("field fidelity over the wire: %+v", last)
+	}
+	st := cli.Stats()
+	if st.SignalsReceived != uint64(total) || st.GapDrops != rounds-uint64(total) {
+		t.Fatalf("client accounting: %+v with %d callbacks", st, total)
+	}
+	gs := g.Stats()
+	if gs.Published != rounds || gs.ConnsTotal != 1 || gs.ConnsDropped != 0 {
+		t.Fatalf("gateway stats: %+v", gs)
+	}
+
+	cancel()
+	<-cliDone
+}
+
+// TestTCPSlowReaderDropped is the wire-level isolation guarantee: a
+// subscriber that heartbeats (stays live) but never reads its socket
+// eventually trips the per-connection write deadline and is dropped —
+// while an in-process subscriber on the same symbol keeps receiving and
+// the publisher never blocks.
+func TestTCPSlowReaderDropped(t *testing.T) {
+	leak := testutil.StartLeakCheck()
+	t.Cleanup(func() { leak.Verify(t, 5*time.Second) }) // after gateway teardown (LIFO)
+	g, addr := startWireGateway(t, Config{
+		Shards:          2,
+		Heartbeat:       100 * time.Millisecond,
+		WriteTimeout:    50 * time.Millisecond,
+		ConnWriteBuffer: 4096,
+	})
+	pub, err := g.Register("ESU6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := g.Subscribe("ESU6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096) // shrink the sink so the deadline trips fast
+	}
+	sub, err := AppendSubscribeFrame(nil, "ESU6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(sub); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the connection "live" without ever reading: heartbeats only.
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if _, err := conn.Write(AppendHeartbeatFrame(nil)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() { close(hbStop); <-hbDone }()
+
+	testutil.WaitFor(t, 5*time.Second, "wire subscriber attached", func() bool {
+		return g.Stats().Subscribers == 2
+	})
+
+	// Flood: every iteration must return promptly (never-block contract) —
+	// the deadline on the whole loop is the proof. The stalled connection
+	// must get dropped while the in-process reader keeps making progress.
+	deadline := time.Now().Add(10 * time.Second)
+	var healthyReceived uint64
+	i := 0
+	for g.Stats().ConnsDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow wire reader never dropped: %+v", g.Stats())
+		}
+		i++
+		pub.Publish(ev(i))
+		select {
+		case <-healthy.C():
+			healthyReceived++
+		default:
+		}
+	}
+	g.Drain()
+	for {
+		select {
+		case <-healthy.C():
+			healthyReceived++
+			continue
+		default:
+		}
+		break
+	}
+	if healthyReceived == 0 {
+		t.Fatal("in-process subscriber starved by a stalled wire peer")
+	}
+	testutil.WaitFor(t, 5*time.Second, "dropped conn detached", func() bool {
+		return g.Stats().Subscribers == 1
+	})
+	if got := g.Stats().ConnsOpen; got != 0 {
+		t.Fatalf("dropped conn still counted open: %d", got)
+	}
+}
+
+// TestTCPClientReconnect injects a byte-budget reset (faultnet) into every
+// connection: the client must redial with backoff, resubscribe, and keep
+// counting Seq gaps across sessions.
+func TestTCPClientReconnect(t *testing.T) {
+	leak := testutil.StartLeakCheck()
+	t.Cleanup(func() { leak.Verify(t, 5*time.Second) }) // after gateway teardown (LIFO)
+	g, addr := startWireGateway(t, Config{Shards: 2, Heartbeat: 50 * time.Millisecond})
+	pub, err := g.Register("ESU6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var seqs []uint64
+	cli := NewClient(ClientConfig{
+		Symbols: []string{"ESU6"},
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.WrapConn(conn, faultnet.ConnFaults{Seed: 3, ResetAfter: 2000}), nil
+		},
+		OnSignal: func(sig TradeSignal) {
+			mu.Lock()
+			seqs = append(seqs, sig.Seq)
+			mu.Unlock()
+		},
+		Heartbeat:  50 * time.Millisecond,
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cliDone := make(chan struct{})
+	go func() { defer close(cliDone); _ = cli.Run(ctx) }()
+
+	// Publish until the reset budget has torn down at least one session and
+	// a second session has received signals.
+	pubStop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		i := 0
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pubStop:
+				return
+			case <-tick.C:
+				i++
+				pub.Publish(ev(i))
+			}
+		}
+	}()
+	testutil.WaitFor(t, 15*time.Second, "reconnected session receiving", func() bool {
+		st := cli.Stats()
+		return st.Dials >= 2 && st.Sessions >= 2
+	})
+	close(pubStop)
+	<-pubDone
+
+	st := cli.Stats()
+	if st.SignalsReceived == 0 {
+		t.Fatalf("no signals across sessions: %+v", st)
+	}
+	mu.Lock()
+	nondecreasing := true
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			nondecreasing = false
+		}
+	}
+	mu.Unlock()
+	if !nondecreasing {
+		t.Fatalf("Seq regressed across reconnects: %v", seqs)
+	}
+	if g.Stats().ConnsTotal < 2 {
+		t.Fatalf("gateway saw %d conns, want >= 2", g.Stats().ConnsTotal)
+	}
+
+	cancel()
+	<-cliDone
+}

@@ -1,0 +1,194 @@
+package signal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lighttrader/internal/nn"
+)
+
+// Wire protocol: length-prefixed frames over TCP, little-endian, in the
+// sbe exact-size append idiom (every encoder pre-grows once to the frame's
+// exact wire size; append forms are zero-alloc when the caller reuses the
+// buffer).
+//
+//	frame   := length uint32 | payload            (length = len(payload))
+//	payload := type uint8 | version uint8 | body
+//
+// Frame types: 'B' subscribe (client→server, one symbol per frame),
+// 'S' signal (server→client), 'H' heartbeat (both directions, empty body).
+//
+// Decoding distinguishes two failure classes: ErrShortFrame means "wait
+// for more bytes" (a split read — normal TCP behaviour), while
+// ErrMalformedFrame means the stream is corrupt and the session must be
+// dropped (resynchronising a length-prefixed stream is not possible).
+
+// Frame type bytes.
+const (
+	FrameSignal    = 'S'
+	FrameSubscribe = 'B'
+	FrameHeartbeat = 'H'
+)
+
+// wireVersion is the protocol version stamped into every payload.
+const wireVersion = 1
+
+// MaxFrameLen bounds the payload length a decoder will accept. Anything
+// larger is malformed by construction (the biggest legal frame is a signal
+// for a 255-byte symbol, far below this) — the guard that keeps a corrupt
+// or hostile length prefix from provoking an unbounded allocation.
+const MaxFrameLen = 1024
+
+// frameLenSize is the length-prefix size.
+const frameLenSize = 4
+
+// headerSize is type byte + version byte.
+const headerSize = 2
+
+// signalFixedLen is the signal body size excluding the trailing symbol
+// bytes: secID u32, action u8, confidence f32, horizon i32, seq u64,
+// five i64 book fields, arrival i64, publish i64, symLen u8.
+const signalFixedLen = 4 + 1 + 4 + 4 + 8 + 5*8 + 8 + 8 + 1
+
+// Decode errors.
+var (
+	// ErrShortFrame reports an incomplete frame: keep the bytes, read more.
+	ErrShortFrame = errors.New("signal: short frame")
+	// ErrMalformedFrame reports a corrupt frame: drop the session.
+	ErrMalformedFrame = errors.New("signal: malformed frame")
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type byte
+	// Signal is populated for FrameSignal frames.
+	Signal TradeSignal
+	// Symbol is populated for FrameSubscribe frames.
+	Symbol string
+}
+
+// AppendSignalFrame appends one encoded signal frame to dst and returns
+// the extended slice. The append is exact-size: zero-alloc whenever dst
+// has capacity for the frame.
+func AppendSignalFrame(dst []byte, sig *TradeSignal) []byte {
+	body := signalFixedLen + len(sig.Symbol)
+	dst = appendHeader(dst, FrameSignal, body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sig.SecurityID))
+	dst = append(dst, byte(sig.Action))
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(sig.Confidence))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sig.HorizonTicks))
+	dst = binary.LittleEndian.AppendUint64(dst, sig.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.BidPrice))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.BidQty))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.AskPrice))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.AskQty))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.LastTrade))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.ArrivalNanos))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sig.PublishNanos))
+	dst = append(dst, byte(len(sig.Symbol)))
+	return append(dst, sig.Symbol...)
+}
+
+// AppendSubscribeFrame appends one subscribe request for symbol.
+func AppendSubscribeFrame(dst []byte, symbol string) ([]byte, error) {
+	if len(symbol) == 0 || len(symbol) > 255 {
+		return dst, fmt.Errorf("signal: symbol length %d out of range", len(symbol))
+	}
+	dst = appendHeader(dst, FrameSubscribe, 1+len(symbol))
+	dst = append(dst, byte(len(symbol)))
+	return append(dst, symbol...), nil
+}
+
+// AppendHeartbeatFrame appends an empty-body heartbeat frame.
+func AppendHeartbeatFrame(dst []byte) []byte {
+	return appendHeader(dst, FrameHeartbeat, 0)
+}
+
+// appendHeader pre-grows dst once to the frame's exact wire size and
+// appends the length prefix, type and version.
+func appendHeader(dst []byte, typ byte, bodyLen int) []byte {
+	need := frameLenSize + headerSize + bodyLen
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerSize+bodyLen))
+	return append(dst, typ, wireVersion)
+}
+
+// DecodeFrame decodes the first frame in buf, returning it and the bytes
+// consumed. ErrShortFrame means buf holds a frame prefix — retry with more
+// bytes. ErrMalformedFrame (possibly wrapped) means the stream is corrupt.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < frameLenSize {
+		return Frame{}, 0, ErrShortFrame
+	}
+	plen := binary.LittleEndian.Uint32(buf)
+	if plen < headerSize || plen > MaxFrameLen {
+		return Frame{}, 0, fmt.Errorf("%w: payload length %d", ErrMalformedFrame, plen)
+	}
+	total := frameLenSize + int(plen)
+	if len(buf) < total {
+		return Frame{}, 0, ErrShortFrame
+	}
+	typ, ver := buf[frameLenSize], buf[frameLenSize+1]
+	if ver != wireVersion {
+		return Frame{}, 0, fmt.Errorf("%w: version %d", ErrMalformedFrame, ver)
+	}
+	body := buf[frameLenSize+headerSize : total]
+	switch typ {
+	case FrameHeartbeat:
+		if len(body) != 0 {
+			return Frame{}, 0, fmt.Errorf("%w: heartbeat body %d bytes", ErrMalformedFrame, len(body))
+		}
+		return Frame{Type: FrameHeartbeat}, total, nil
+	case FrameSubscribe:
+		if len(body) < 2 || int(body[0]) != len(body)-1 {
+			return Frame{}, 0, fmt.Errorf("%w: subscribe symbol length", ErrMalformedFrame)
+		}
+		return Frame{Type: FrameSubscribe, Symbol: string(body[1:])}, total, nil
+	case FrameSignal:
+		sig, err := decodeSignalBody(body)
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		return Frame{Type: FrameSignal, Signal: sig}, total, nil
+	default:
+		return Frame{}, 0, fmt.Errorf("%w: unknown frame type %#x", ErrMalformedFrame, typ)
+	}
+}
+
+// decodeSignalBody decodes a signal frame body (everything after the
+// type/version header).
+func decodeSignalBody(body []byte) (TradeSignal, error) {
+	if len(body) < signalFixedLen {
+		return TradeSignal{}, fmt.Errorf("%w: signal body %d bytes", ErrMalformedFrame, len(body))
+	}
+	var sig TradeSignal
+	sig.SecurityID = int32(binary.LittleEndian.Uint32(body))
+	action := body[4]
+	if action > byte(nn.Up) {
+		return TradeSignal{}, fmt.Errorf("%w: action %d", ErrMalformedFrame, action)
+	}
+	sig.Action = nn.Direction(action)
+	sig.Confidence = math.Float32frombits(binary.LittleEndian.Uint32(body[5:]))
+	sig.HorizonTicks = int32(binary.LittleEndian.Uint32(body[9:]))
+	sig.Seq = binary.LittleEndian.Uint64(body[13:])
+	sig.BidPrice = int64(binary.LittleEndian.Uint64(body[21:]))
+	sig.BidQty = int64(binary.LittleEndian.Uint64(body[29:]))
+	sig.AskPrice = int64(binary.LittleEndian.Uint64(body[37:]))
+	sig.AskQty = int64(binary.LittleEndian.Uint64(body[45:]))
+	sig.LastTrade = int64(binary.LittleEndian.Uint64(body[53:]))
+	sig.ArrivalNanos = int64(binary.LittleEndian.Uint64(body[61:]))
+	sig.PublishNanos = int64(binary.LittleEndian.Uint64(body[69:]))
+	symLen := int(body[77])
+	if len(body) != signalFixedLen+symLen {
+		return TradeSignal{}, fmt.Errorf("%w: signal symbol length %d vs body %d",
+			ErrMalformedFrame, symLen, len(body))
+	}
+	sig.Symbol = string(body[signalFixedLen:])
+	return sig, nil
+}

@@ -1,0 +1,149 @@
+package signal
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"lighttrader/internal/nn"
+)
+
+func sampleSignal() TradeSignal {
+	return TradeSignal{
+		Symbol: "ESU6", SecurityID: 7, Seq: 42,
+		Action: nn.Up, Confidence: 0.83, HorizonTicks: 10,
+		BidPrice: 449995, BidQty: 12, AskPrice: 450005, AskQty: 9,
+		LastTrade: 450000, ArrivalNanos: 1111, PublishNanos: 2222,
+	}
+}
+
+// TestWireRoundtrip encodes every frame type back to back in one buffer
+// and decodes the stream, checking exact field fidelity.
+func TestWireRoundtrip(t *testing.T) {
+	want := sampleSignal()
+	buf := AppendSignalFrame(nil, &want)
+	var err error
+	if buf, err = AppendSubscribeFrame(buf, "NQU6"); err != nil {
+		t.Fatal(err)
+	}
+	buf = AppendHeartbeatFrame(buf)
+
+	f1, n1, err := DecodeFrame(buf)
+	if err != nil || f1.Type != FrameSignal {
+		t.Fatalf("signal frame: %+v, %v", f1, err)
+	}
+	if f1.Signal != want {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", f1.Signal, want)
+	}
+	f2, n2, err := DecodeFrame(buf[n1:])
+	if err != nil || f2.Type != FrameSubscribe || f2.Symbol != "NQU6" {
+		t.Fatalf("subscribe frame: %+v, %v", f2, err)
+	}
+	f3, n3, err := DecodeFrame(buf[n1+n2:])
+	if err != nil || f3.Type != FrameHeartbeat {
+		t.Fatalf("heartbeat frame: %+v, %v", f3, err)
+	}
+	if n1+n2+n3 != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n1+n2+n3, len(buf))
+	}
+}
+
+// TestAppendSignalFrameZeroAlloc checks the sbe-style append contract: a
+// buffer with capacity absorbs the encode without allocating.
+func TestAppendSignalFrameZeroAlloc(t *testing.T) {
+	sig := sampleSignal()
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendSignalFrame(buf[:0], &sig)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSignalFrame allocates %.1f allocs/op with capacity, want 0", allocs)
+	}
+}
+
+// TestDecodeShortFrames feeds every strict prefix of a valid frame and
+// requires ErrShortFrame (wait for more bytes), never a hard error.
+func TestDecodeShortFrames(t *testing.T) {
+	sig := sampleSignal()
+	full := AppendSignalFrame(nil, &sig)
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeFrame(full[:i]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrShortFrame", i, len(full), err)
+		}
+	}
+}
+
+// TestDecodeMalformed enumerates corrupt-stream cases that must surface
+// ErrMalformedFrame — the session-drop signal.
+func TestDecodeMalformed(t *testing.T) {
+	sig := sampleSignal()
+	valid := AppendSignalFrame(nil, &sig)
+
+	cases := map[string][]byte{
+		"oversized length":  {0xFF, 0xFF, 0xFF, 0xFF, FrameSignal, 1},
+		"zero length":       {0, 0, 0, 0},
+		"bad version":       {2, 0, 0, 0, FrameHeartbeat, 99},
+		"unknown type":      {2, 0, 0, 0, 'Z', 1},
+		"heartbeat w/ body": {3, 0, 0, 0, FrameHeartbeat, 1, 0xAB},
+		"empty subscribe":   {3, 0, 0, 0, FrameSubscribe, 1, 0},
+	}
+	// Signal body with an out-of-range action byte.
+	badAction := append([]byte(nil), valid...)
+	badAction[4+2+4] = 7 // action offset: len prefix + type/version + secID
+	cases["bad action"] = badAction
+	// Signal body whose symbol length disagrees with the frame length.
+	badSym := append([]byte(nil), valid...)
+	badSym[len(badSym)-len(sig.Symbol)-1] = 200
+	cases["bad symbol length"] = badSym
+
+	for name, buf := range cases {
+		if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrMalformedFrame) {
+			t.Errorf("%s: err = %v, want ErrMalformedFrame", name, err)
+		}
+	}
+}
+
+// FuzzDecodeFrame fuzzes the length-prefixed decoder: it must never
+// panic, never over-consume, and every successfully decoded signal frame
+// must re-encode to a byte-identical frame (NaN confidence exempted from
+// the value comparison, not from the byte comparison).
+func FuzzDecodeFrame(f *testing.F) {
+	sig := sampleSignal()
+	valid := AppendSignalFrame(nil, &sig)
+	f.Add(valid)
+	sub, _ := AppendSubscribeFrame(nil, "ESU6")
+	f.Add(sub)
+	f.Add(AppendHeartbeatFrame(nil))
+	f.Add(valid[:len(valid)/2]) // truncated
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, FrameSignal, 1})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[9] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if frame.Type != FrameSignal {
+			return
+		}
+		re := AppendSignalFrame(nil, &frame.Signal)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
+		}
+		if !math.IsNaN(float64(frame.Signal.Confidence)) {
+			back, _, err := DecodeFrame(re)
+			if err != nil || back.Signal != frame.Signal {
+				t.Fatalf("re-decode: %+v, %v", back.Signal, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Package testutil holds the polling and goroutine-leak helpers the
+// networked integration tests share (trader chaos/multi loops, signal
+// gateway churn). They encode one convention: quiesce is observed by
+// polling, and a test that spawns goroutines proves they wind down.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond every 10ms until it holds or the deadline lapses,
+// failing the test with what on timeout.
+func WaitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// LeakCheck snapshots the goroutine count at test start; Verify asserts
+// the count returns to within a small slack of it. The slack absorbs
+// runtime housekeeping goroutines (test timers, netpoller) that are not
+// leaks.
+type LeakCheck struct {
+	base int
+}
+
+// StartLeakCheck snapshots the current goroutine count.
+func StartLeakCheck() LeakCheck {
+	return LeakCheck{base: runtime.NumGoroutine()}
+}
+
+// Verify waits up to d for the goroutine count to drain back to the
+// snapshot (plus slack 2), failing the test otherwise.
+func (lc LeakCheck) Verify(t testing.TB, d time.Duration) {
+	t.Helper()
+	WaitFor(t, d, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= lc.base+2
+	})
+}

@@ -3,7 +3,6 @@ package trader_test
 import (
 	"context"
 	"net"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,6 +15,7 @@ import (
 	"lighttrader/internal/nn"
 	"lighttrader/internal/offload"
 	"lighttrader/internal/orderentry"
+	"lighttrader/internal/testutil"
 	"lighttrader/internal/trader"
 	"lighttrader/internal/trading"
 	"lighttrader/internal/venue"
@@ -48,17 +48,11 @@ func newChaosPipeline(t *testing.T) *core.Pipeline {
 	return p
 }
 
-// waitFor polls cond until it holds or the deadline lapses.
+// waitFor polls cond until it holds or the deadline lapses (shared
+// testutil helper; kept as a local name for the call sites below).
 func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
+	testutil.WaitFor(t, d, what, cond)
 }
 
 // booksMatch compares the trader's book mirror against the venue's
@@ -82,7 +76,7 @@ func booksMatch(venueSnap, local lob.Snapshot) bool {
 // requires the local book to match the venue book exactly. It also checks
 // the run leaks no goroutines.
 func TestChaosLossyDualFeedBookConverges(t *testing.T) {
-	baseGoroutines := runtime.NumGoroutine()
+	leak := testutil.StartLeakCheck()
 
 	feedA, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -204,9 +198,7 @@ func TestChaosLossyDualFeedBookConverges(t *testing.T) {
 	feedB.Close()
 
 	// No goroutine leaks: everything spawned above must wind down.
-	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
-		return runtime.NumGoroutine() <= baseGoroutines+2
-	})
+	leak.Verify(t, 5*time.Second)
 }
 
 // TestChaosOrderEntryResetReconnects injects an abrupt connection reset

@@ -13,13 +13,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"lighttrader/internal/exchange"
 	"lighttrader/internal/orderentry"
+	"lighttrader/internal/session"
 )
 
 // Client errors.
@@ -82,11 +82,11 @@ const readTick = 50 * time.Millisecond
 
 // Client owns one order-entry session end to end.
 type Client struct {
-	cfg  Config
-	dial func(ctx context.Context) (net.Conn, error)
+	cfg     Config
+	dial    func(ctx context.Context) (net.Conn, error)
+	backoff *session.Backoff
 
 	mu      sync.Mutex
-	rng     *rand.Rand
 	conn    net.Conn
 	sess    *orderentry.ClientSession
 	ready   bool
@@ -108,7 +108,7 @@ func NewClient(cfg Config) *Client {
 	}
 	c := &Client{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.BackoffSeed)),
+		backoff: session.NewBackoff(cfg.BackoffMin, cfg.BackoffMax, cfg.BackoffSeed),
 		readyCh: make(chan struct{}),
 		resting: make(map[uint64]exchange.Request),
 	}
@@ -201,7 +201,6 @@ func (c *Client) sendLocked(req exchange.Request) error {
 // reconnecting with capped exponential backoff plus jitter after every
 // failure. It returns ctx.Err() once the context is cancelled.
 func (c *Client) Run(ctx context.Context) error {
-	backoff := c.cfg.BackoffMin
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -213,11 +212,10 @@ func (c *Client) Run(ctx context.Context) error {
 			c.mu.Unlock()
 			err = c.runSession(ctx, conn)
 			conn.Close()
-			wasReady := c.teardown()
-			if wasReady {
+			if c.teardown() {
 				// A session that made it to Established earns a fresh
 				// backoff ladder.
-				backoff = c.cfg.BackoffMin
+				c.backoff.Reset()
 			}
 			c.logf("trader: session ended: %v", err)
 		} else {
@@ -226,24 +224,12 @@ func (c *Client) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		sleep := c.jitter(backoff)
 		select {
-		case <-time.After(sleep):
+		case <-time.After(c.backoff.Next()):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		backoff *= 2
-		if backoff > c.cfg.BackoffMax {
-			backoff = c.cfg.BackoffMax
-		}
 	}
-}
-
-// jitter adds up to 50% random spread so reconnect storms decorrelate.
-func (c *Client) jitter(d time.Duration) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return d + time.Duration(c.rng.Float64()*float64(d)/2)
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -281,7 +267,7 @@ func (c *Client) runSession(ctx context.Context, conn net.Conn) error {
 	keepAlive := time.Duration(c.cfg.KeepAliveMillis) * time.Millisecond
 	buf := make([]byte, 0, 8192)
 	tmp := make([]byte, 4096)
-	lastRecv := time.Now()
+	live := session.NewLiveness(keepAlive, time.Now())
 	handshakeDeadline := time.Now().Add(3 * keepAlive)
 
 	for {
@@ -292,7 +278,7 @@ func (c *Client) runSession(ctx context.Context, conn net.Conn) error {
 		n, rerr := conn.Read(tmp)
 		if n > 0 {
 			buf = append(buf, tmp[:n]...)
-			lastRecv = time.Now()
+			live.Touch(time.Now())
 		}
 		rest, perr := c.processFrames(buf, sess, conn)
 		buf = rest
@@ -325,7 +311,7 @@ func (c *Client) runSession(ctx context.Context, conn net.Conn) error {
 				return fmt.Errorf("trader: heartbeat write: %w", err)
 			}
 		}
-		if now.Sub(lastRecv) > 3*keepAlive {
+		if live.Expired(now) {
 			c.mu.Lock()
 			c.stats.KeepAliveExpiries++
 			c.mu.Unlock()

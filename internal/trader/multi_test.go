@@ -3,13 +3,13 @@ package trader_test
 import (
 	"context"
 	"net"
-	"runtime"
 	"testing"
 	"time"
 
 	"lighttrader/internal/core"
 	"lighttrader/internal/lob"
 	"lighttrader/internal/serve"
+	"lighttrader/internal/testutil"
 	"lighttrader/internal/trader"
 	"lighttrader/internal/venue"
 )
@@ -20,7 +20,7 @@ import (
 // gate to a real order-entry session, and the book mirror converging to the
 // venue book at quiesce.
 func TestMultiTraderLiveLoop(t *testing.T) {
-	baseGoroutines := runtime.NumGoroutine()
+	leak := testutil.StartLeakCheck()
 
 	feedConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -130,7 +130,5 @@ func TestMultiTraderLiveLoop(t *testing.T) {
 	<-feedDone
 	feedConn.Close()
 
-	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
-		return runtime.NumGoroutine() <= baseGoroutines+2
-	})
+	leak.Verify(t, 5*time.Second)
 }

@@ -15,6 +15,7 @@ import (
 	"lighttrader/internal/core"
 	"lighttrader/internal/sched"
 	"lighttrader/internal/serve"
+	"lighttrader/internal/signal"
 	"lighttrader/internal/sim"
 )
 
@@ -82,6 +83,53 @@ type OrderLog = serve.OrderLog
 // NewOrderLog returns an empty order log.
 func NewOrderLog() *OrderLog { return serve.NewOrderLog() }
 
+// TradeSignal is one published prediction: action, confidence, horizon and
+// the top-of-book snapshot it was made from, plus arrival/publish
+// timestamps and the symbol's monotonic sequence number.
+type TradeSignal = signal.TradeSignal
+
+// SignalGateway is the signal-distribution tier: sharded, conflated
+// fan-out of every served symbol's predictions to in-process subscribers
+// (Server.Subscribe) and TCP wire clients (SignalGateway.Serve). Attach
+// one to a serving runtime with WithSignalGateway.
+type SignalGateway = signal.Gateway
+
+// SignalGatewayConfig parameterises NewSignalGateway (shard count,
+// prediction horizon, wire heartbeat/write-deadline tuning). The zero
+// value selects the defaults.
+type SignalGatewayConfig = signal.Config
+
+// SignalSubscription is one conflated in-process subscription: receive
+// from C(), read conflation drops from Drops(), Close() to detach. The
+// stream is latest-value-wins — a slow consumer always finds the newest
+// signal, never a backlog.
+type SignalSubscription = signal.Subscription
+
+// SignalStats is the gateway's counter set (published, delivered,
+// conflation drops, subscriber and connection gauges).
+type SignalStats = signal.Stats
+
+// NewSignalGateway builds a signal gateway and starts its fan-out shards.
+// The caller owns its lifecycle (Close it after the server drains).
+func NewSignalGateway(cfg SignalGatewayConfig) (*SignalGateway, error) {
+	return signal.NewGateway(cfg)
+}
+
+// SignalClient is the TCP subscriber side of the wire protocol: it dials a
+// gateway, subscribes its symbols, decodes the conflated stream, and
+// reconnects with capped exponential backoff (see examples/signals).
+type SignalClient = signal.Client
+
+// SignalClientConfig parameterises NewSignalClient (address, symbols, the
+// per-signal callback, heartbeat and backoff).
+type SignalClientConfig = signal.ClientConfig
+
+// NewSignalClient builds a wire subscriber; call Run to connect and
+// consume.
+func NewSignalClient(cfg SignalClientConfig) *SignalClient {
+	return signal.NewClient(cfg)
+}
+
 // config is the resolved option set shared by New, NewServer and
 // BacktestContext.
 type config struct {
@@ -97,6 +145,7 @@ type config struct {
 	inline       bool
 	sink         OrderSink
 	clock        func() int64
+	signals      *SignalGateway
 }
 
 // Option configures New, NewServer or BacktestContext. Options that do not
@@ -190,6 +239,12 @@ func WithOrderSink(sink OrderSink) Option { return func(c *config) { c.sink = si
 // deterministic arrival-driven logical clock). Serving only.
 func WithClock(clock func() int64) Option { return func(c *config) { c.clock = clock } }
 
+// WithSignalGateway attaches a signal-distribution gateway to the serving
+// runtime: every subscription's inference results are published to the
+// gateway's conflated per-symbol streams, consumable in-process via
+// Server.Subscribe or over TCP via SignalGateway.Serve. Serving only.
+func WithSignalGateway(gw *SignalGateway) Option { return func(c *config) { c.signals = gw } }
+
 // New assembles a simulated LightTrader appliance from options:
 //
 //	sys, err := lighttrader.New(lighttrader.NewDeepLOB(),
@@ -226,6 +281,7 @@ func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 		Clock:        cfg.clock,
 		Probe:        cfg.probe,
 		OnOrders:     cfg.sink,
+		Signals:      cfg.signals,
 	}
 	if !cfg.inline {
 		scfg.Lanes = cfg.accels
