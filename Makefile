@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout sched-smoke fanout-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout bench-power sched-smoke fanout-smoke power-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench: bench-sched
 bench-sched:
 	$(GO) run ./cmd/ltbench -schedjson BENCH_sched.json
 
+# The limited-power recovery sweep: the calibrated tight-horizon workload
+# through the simulator and the serving runtime with the Algorithm-2 power
+# governor on and off, archived as JSON. See EXPERIMENTS.md.
+bench-power:
+	$(GO) run ./cmd/ltbench -powerjson BENCH_power.json
+
 # The signal fan-out experiment: propagation percentiles and conflation
 # drops at 1k/10k/100k subscribers, the 1→8 shard sweep (modelled
 # throughput), and the faultnet chaos scenario, archived as JSON. See
@@ -83,6 +89,15 @@ fanout-smoke:
 	$(GO) test -run 'TestFanoutSmoke' ./internal/bench/
 	$(GO) test -run 'TestPublishZeroAlloc' ./internal/signal/
 
+# Power-governor smoke: the sim-vs-serve limited-power differential (exact
+# response and per-cause drop agreement at N=1), the recovery claim
+# (governor strictly reduces DeferredPower drops vs the status quo), and the
+# budget-safety property under the race detector with concurrent lanes.
+power-smoke:
+	$(GO) test -run 'TestSimServeLimitedPowerDifferential|TestGovernorRecoversDeferredPowerDrops' \
+		./internal/bench/
+	$(GO) test -race -run 'TestGovernorPowerCapProperty' ./internal/serve/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -99,6 +114,7 @@ fuzz-smoke:
 # serving runtime in internal/serve and the signal gateway), single-
 # iteration benchmark smoke runs (kernels and the zero-alloc tick path),
 # the scheduling policy-matrix smoke, the signal fan-out smoke with its
-# publish-hook allocation gate, and a short fuzz pass over the wire
-# decoders.
-ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke fuzz-smoke
+# publish-hook allocation gate, the power-governor smoke (sim-vs-serve
+# differential, recovery claim, budget-safety race test), and a short fuzz
+# pass over the wire decoders.
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke power-smoke fuzz-smoke

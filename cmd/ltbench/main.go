@@ -11,6 +11,7 @@
 //	ltbench -scheduler fcfs      # scheduling strategy for the -trace run
 //	ltbench -schedjson out.json  # archive the sched-matrix rows as JSON
 //	ltbench -fanoutjson out.json # archive the signal fan-out rows as JSON
+//	ltbench -powerjson out.json  # archive the limited-power recovery sweep as JSON
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
 //	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
@@ -45,6 +46,7 @@ func main() {
 	scheduler := flag.String("scheduler", "", "scheduling strategy for the -trace run: "+strings.Join(sched.SchedulerNames(), ", ")+" (default ppw)")
 	schedjson := flag.String("schedjson", "", "run the sched-matrix experiment and write its rows as JSON to this path")
 	fanoutjson := flag.String("fanoutjson", "", "run the signal fan-out experiment and write its rows as JSON to this path")
+	powerjson := flag.String("powerjson", "", "run the limited-power recovery sweep and write its rows as JSON to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *fanoutjson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *fanoutjson == "" && *powerjson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -88,6 +90,16 @@ func main() {
 	if *fanoutjson != "" {
 		if err := writeFanoutJSON(*fanoutjson); err != nil {
 			fmt.Fprintf(os.Stderr, "fanoutjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace == "" && *powerjson == "" && strings.EqualFold(*exp, "all") {
+			return // archive run: don't also regenerate the whole suite
+		}
+	}
+
+	if *powerjson != "" {
+		if err := writePowerJSON(*powerjson); err != nil {
+			fmt.Fprintf(os.Stderr, "powerjson: %v\n", err)
 			os.Exit(1)
 		}
 		if *trace == "" && strings.EqualFold(*exp, "all") {
@@ -213,6 +225,27 @@ func writeSchedJSON(tc bench.TrafficConfig, path string) error {
 	fmt.Print(bench.RenderSchedMatrix(rows))
 	fmt.Printf("sched matrix written to %s\n", path)
 	fmt.Printf("[sched-matrix completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writePowerJSON runs the limited-power recovery sweep and archives its
+// rows. The sweep replays its own calibrated traffic (bench.PowerTraffic):
+// the tight-horizon, high-rate regime where power infeasibility actually
+// fires, independent of the -ticks/-tavail figure knobs.
+func writePowerJSON(path string) error {
+	start := time.Now()
+	tc := bench.PowerTraffic()
+	rows := bench.PowerSweep(tc)
+	data, err := bench.PowerSweepJSON(tc, rows)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderPowerSweep(rows))
+	fmt.Printf("power sweep written to %s\n", path)
+	fmt.Printf("[power-sweep completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -342,13 +342,7 @@ func (s *System) busyViews(now int64) []sched.BusyAccel {
 				minDeadline = q.DeadlineNanos
 			}
 		}
-		views = append(views, sched.BusyAccel{
-			ID:             i,
-			DVFS:           a.state,
-			Batch:          len(a.batch),
-			SlackNanos:     minDeadline - a.doneAt,
-			RemainingNanos: a.doneAt - now,
-		})
+		views = append(views, sched.BusyViewAt(i, a.state, len(a.batch), minDeadline, a.doneAt, now))
 	}
 	s.viewScratch = views
 	return views
@@ -369,8 +363,7 @@ func (s *System) applyDVFS(i int, d cgra.DVFSState, now int64, reason sim.DVFSRe
 		if remaining < 0 {
 			remaining = 0
 		}
-		scaled := int64(float64(remaining) * a.state.FreqGHz / d.FreqGHz)
-		newDone := now + s.cfg.Sched.Spec.DVFSSwitchNanos + scaled
+		newDone := now + s.cfg.Sched.RetimedRemainingNanos(remaining, a.state, d)
 		retimed = newDone - a.doneAt
 		a.doneAt = newDone
 		a.retimes++

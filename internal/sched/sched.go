@@ -261,6 +261,13 @@ func (c *Config) issueScore(d cgra.DVFSState, bs int, tTotal int64) float64 {
 	}
 }
 
+// PowerEps is the watt-scale float tolerance the power-budget comparisons
+// use: an upgrade whose cost equals the remaining budget (to within
+// accumulated float error) is "fully consuming the constrained power", not
+// exceeding it. Draws are O(1–10) W, so 1e-9 W is far below any modelled
+// quantity yet far above double-precision rounding noise.
+const PowerEps = 1e-9
+
 // BusyAccel is Algorithm 2's view of one non-idle accelerator.
 type BusyAccel struct {
 	ID int
@@ -276,10 +283,41 @@ type BusyAccel struct {
 	RemainingNanos int64
 }
 
+// BusyViewAt assembles Algorithm 2's view of one busy accelerator from
+// engine-side state: the in-flight batch size, the earliest deadline inside
+// the batch, the projected completion time, and the decision instant. Both
+// engines (the offline simulator's accelerator array and the serving
+// runtime's power governor) build their views through it so the
+// slack/remaining conventions cannot drift apart. Remaining time clamps at
+// zero: an online engine can observe a lane whose modelled completion lies
+// before its own decision instant.
+func BusyViewAt(id int, d cgra.DVFSState, batch int, minDeadlineNanos, doneNanos, nowNanos int64) BusyAccel {
+	remaining := doneNanos - nowNanos
+	if remaining < 0 {
+		remaining = 0
+	}
+	return BusyAccel{
+		ID:             id,
+		DVFS:           d,
+		Batch:          batch,
+		SlackNanos:     minDeadlineNanos - doneNanos,
+		RemainingNanos: remaining,
+	}
+}
+
 // Change is a DVFS adjustment Algorithm 2 requests.
 type Change struct {
 	ID   int
 	DVFS cgra.DVFSState
+}
+
+// RetimedRemainingNanos is the single source of the DVFS retime rule: when a
+// busy accelerator switches from state `from` to `to` with `remaining` work
+// left, the work stalls for the switch delay and then proceeds scaled by the
+// frequency ratio. Callers add the result to the decision instant to get the
+// new completion time. from must differ from to (a no-op switch has no stall).
+func (c *Config) RetimedRemainingNanos(remaining int64, from, to cgra.DVFSState) int64 {
+	return c.Spec.DVFSSwitchNanos + int64(float64(remaining)*from.FreqGHz/to.FreqGHz)
 }
 
 // SavePower is the first step of DVFS scheduling: scale each busy
@@ -296,9 +334,10 @@ func SavePower(cfg *Config, busy []BusyAccel) []Change {
 			if d.FreqGHz >= best.FreqGHz {
 				break // table ascends; only states below current save power
 			}
-			stretched := int64(float64(a.RemainingNanos) * a.DVFS.FreqGHz / d.FreqGHz)
-			extra := stretched - a.RemainingNanos + cfg.Spec.DVFSSwitchNanos
-			if extra < a.SlackNanos {
+			extra := cfg.RetimedRemainingNanos(a.RemainingNanos, a.DVFS, d) - a.RemainingNanos
+			// A scale-down may consume the slack exactly: the stretched batch
+			// then completes at its deadline, which still counts as on time.
+			if extra <= a.SlackNanos {
 				best = d
 				break // lowest feasible state
 			}
@@ -335,7 +374,10 @@ func Redistribute(cfg *Config, busy []BusyAccel, powerAvail float64) []Change {
 				continue
 			}
 			powerInc := cfg.BusyPower(next) - cfg.BusyPower(cur)
-			if powerInc >= powerAvail {
+			// An upgrade may consume the remaining budget exactly (to within
+			// float tolerance): "fully consuming the constrained power" is the
+			// algorithm's contract, so only a strict overshoot is rejected.
+			if powerInc > powerAvail+PowerEps {
 				continue
 			}
 			ppwInc := cfg.PPW(next, batch[a.ID]) - cfg.PPW(cur, batch[a.ID])

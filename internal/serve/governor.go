@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"sync"
+
+	"lighttrader/internal/cgra"
+	"lighttrader/internal/sched"
+	"lighttrader/internal/sim"
+)
+
+// laneDVFS is the governor's record of one lane's modelled accelerator: its
+// operating point, instantaneous draw, and — while a batch is in flight —
+// the projected completion, the earliest deadline in the batch, and how
+// often the batch has been retimed (capped, mirroring core.System's
+// DVFS-thrash guard).
+type laneDVFS struct {
+	state cgra.DVFSState
+	busy  bool
+	draw  float64
+	batch int
+	// doneNanos is the modelled completion of the in-flight batch: admission
+	// now + pre-pipeline + t_total, retimed on every DVFS change.
+	doneNanos int64
+	// minDeadline is the earliest deadline inside the in-flight batch — the
+	// slack bound a SavePower scale-down must not violate.
+	minDeadline int64
+	retimes     int
+
+	switches, saves, redistributes, parks int64
+}
+
+// governor is the online owner of the paper's Algorithm 2 over the serving
+// lanes: the single lock below makes admission transactional (decide and
+// commit under one critical section, so two lanes can never jointly
+// overshoot the budget), runs the power-saving step as a retry when a
+// decision fails on power, and redistributes residual budget after every
+// issue and retire — the serving-runtime mirror of core.System.schedule.
+// Without a scheduling config the governor is inert; with one but without
+// DVFS scheduling (or when disabled) it degrades to a transactional power
+// meter: Algorithm 1 admission against the shared budget, no DVFS actions.
+type governor struct {
+	cfg *sched.Config
+	srv *Server
+	// dvfs gates Algorithm 2 (save/redistribute/park); admission accounting
+	// runs whenever cfg is non-nil.
+	dvfs bool
+	// modelled switches retirement to modelled time: a lane's power is held
+	// until its batch's modelled completion instant passes (observed lazily
+	// at the next governor event), not until the wall-clock dispatch
+	// returns — the cross-lane analogue of the simulator's event loop.
+	// Without it (live serving) a lane retires when its dispatch finishes,
+	// which on real hardware IS the modelled completion.
+	modelled bool
+	pre      int64
+
+	mu      sync.Mutex
+	lanes   []laneDVFS
+	scratch []sched.BusyAccel
+	maxDraw float64
+	// retries counts power-infeasible decisions that triggered the saving
+	// step; rescues counts the retries that issued after it freed budget.
+	retries, rescues int64
+}
+
+// admitResult is the outcome of one transactional admission attempt.
+type admitResult struct {
+	issue   sched.Issue
+	verdict sched.Verdict
+	// saved reports that the power-saving retry ran (the lane rate-limits it
+	// to once per decision instant, mirroring the simulator's once-per-
+	// schedule-call flag).
+	saved bool
+	// done is the committed batch's projected completion at issue time,
+	// before any later retiming (the DoneNanos the issue events carry).
+	done int64
+}
+
+func newGovernor(srv *Server, cfg *sched.Config, lanes int) *governor {
+	g := &governor{
+		cfg: cfg, srv: srv,
+		modelled: srv.cfg.ModelledClock,
+		pre:      srv.cfg.PrePipelineNanos,
+	}
+	g.lanes = make([]laneDVFS, lanes)
+	if cfg != nil {
+		g.dvfs = cfg.DVFSScheduling && !srv.cfg.DisablePowerGovernor
+		start := startState(cfg)
+		idle := cfg.Spec.IdlePower(start)
+		for i := range g.lanes {
+			g.lanes[i].state = start
+			g.lanes[i].draw = idle
+		}
+		g.maxDraw = idle * float64(lanes)
+	}
+	return g
+}
+
+// admit runs one scheduling decision for laneID transactionally: the policy
+// decides against the live cross-lane power view, a power-infeasible verdict
+// triggers Algorithm 2's saving step across the other busy lanes and one
+// retry (when allowSave), and an issued verdict commits the lane's state,
+// draw and projected completion before the lock is released — then spends
+// any residual budget scaling busy lanes up. minDeadlineFor reports the
+// earliest deadline over the first n queued queries; it is called with the
+// issued batch size while the caller still holds its queue lock.
+func (g *governor) admit(laneID int, now int64, queued int, availNanos int64,
+	pol sched.Scheduler, minDeadlineFor func(int) int64, allowSave bool) admitResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Modelled time: batches whose completion instant has passed release
+	// their power (and park, and redistribute) before this decision reads
+	// the budget — the simulator's advance-before-schedule ordering.
+	g.retireDue(now)
+	dec := pol.Decide(g.ctxFor(laneID, now, queued, availNanos))
+	res := admitResult{issue: dec.Issue, verdict: dec.Verdict}
+	if dec.Verdict == sched.VerdictPowerInfeasible && g.dvfs && allowSave {
+		// Algorithm 2's power-saving step: scale the other busy lanes down to
+		// the slowest states their in-flight deadlines allow, then retry the
+		// issue once — the serving mirror of core.System's retry path.
+		res.saved = true
+		g.retries++
+		if changes := sched.SavePower(g.cfg, g.busyViews(now, false)); len(changes) > 0 {
+			for _, ch := range changes {
+				g.applyDVFS(ch.ID, ch.DVFS, now, sim.DVFSSave)
+			}
+			dec = pol.Decide(g.ctxFor(laneID, now, queued, availNanos))
+			res.issue, res.verdict = dec.Issue, dec.Verdict
+			if dec.Verdict == sched.VerdictIssued {
+				g.rescues++
+			}
+		}
+	}
+	if res.verdict != sched.VerdictIssued {
+		return res
+	}
+	rec := &g.lanes[laneID]
+	if rec.state != res.issue.DVFS {
+		rec.switches++
+		g.srv.probe.dvfs(sim.DVFSEvent{
+			TimeNanos: now, Accel: laneID, Reason: sim.DVFSAtIssue,
+			FromGHz: rec.state.FreqGHz, ToGHz: res.issue.DVFS.FreqGHz,
+		})
+	}
+	rec.state = res.issue.DVFS
+	rec.busy = true
+	rec.batch = res.issue.Batch
+	rec.draw = g.cfg.BusyPower(res.issue.DVFS)
+	rec.doneNanos = now + g.pre + res.issue.TotalNanos
+	rec.minDeadline = minDeadlineFor(res.issue.Batch)
+	rec.retimes = 0
+	g.noteDraw()
+	res.done = rec.doneNanos
+	if g.dvfs {
+		g.redistribute(now, int(g.srv.queued.Load())-res.issue.Batch)
+	}
+	return res
+}
+
+// retire marks laneID's batch complete at its (possibly retimed) modelled
+// completion time, parks the lane at the floor state under DVFS scheduling,
+// and spends the freed budget upgrading still-busy lanes — the completion-
+// boundary redistribution core.System.Advance performs. Returns the
+// modelled completion time. Wall-clock mode only; modelled runs retire
+// lazily through retireDue/flush.
+func (g *governor) retire(laneID int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	done := g.lanes[laneID].doneNanos
+	g.retireLocked(laneID, done)
+	return done
+}
+
+// retireDue retires, in completion order, every lane whose modelled batch
+// has finished by now — the lazy form of the simulator's event loop, run at
+// the head of every governor event in modelled mode. Callers hold g.mu.
+func (g *governor) retireDue(now int64) {
+	if !g.modelled {
+		return
+	}
+	for {
+		due := -1
+		for i := range g.lanes {
+			rec := &g.lanes[i]
+			if rec.busy && rec.doneNanos <= now &&
+				(due < 0 || rec.doneNanos < g.lanes[due].doneNanos) {
+				due = i
+			}
+		}
+		if due < 0 {
+			return
+		}
+		g.retireLocked(due, g.lanes[due].doneNanos)
+	}
+}
+
+// flush retires every still-busy lane at its modelled completion — the
+// end-of-replay drain, so final parks and counters match a simulator run
+// that advances past its last event.
+func (g *governor) flush() {
+	if g.cfg == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.retireDue(1<<63 - 1)
+}
+
+// retireLocked releases laneID's power at time done, parks it at the floor
+// under DVFS scheduling, and spends the freed budget upgrading still-busy
+// lanes. Callers hold g.mu.
+func (g *governor) retireLocked(laneID int, done int64) {
+	rec := &g.lanes[laneID]
+	rec.busy = false
+	rec.batch = 0
+	if g.dvfs {
+		floor := g.cfg.Spec.DVFSTable()[0]
+		if rec.state != floor {
+			rec.parks++
+			g.srv.probe.dvfs(sim.DVFSEvent{
+				TimeNanos: done, Accel: laneID, Reason: sim.DVFSPark,
+				FromGHz: rec.state.FreqGHz, ToGHz: floor.FreqGHz,
+			})
+		}
+		rec.state = floor
+	}
+	rec.draw = g.cfg.Spec.IdlePower(rec.state)
+	g.noteDraw()
+	if g.dvfs {
+		g.redistribute(done, int(g.srv.queued.Load()))
+	}
+}
+
+// projectedDone returns laneID's modelled completion as retimed so far: the
+// instant its accelerator frees up. Valid after retire too (the last
+// batch's completion).
+func (g *governor) projectedDone(laneID int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lanes[laneID].doneNanos
+}
+
+// ctxFor assembles the scheduling context for laneID's decision: the
+// unallocated budget with the lane's own draw excluded, and the busy views
+// of the other lanes (Algorithm 2's input, also visible to policies).
+func (g *governor) ctxFor(laneID int, now int64, queued int, availNanos int64) sched.SchedContext {
+	return sched.SchedContext{
+		NowNanos:        now,
+		Queued:          queued,
+		AvailNanos:      availNanos,
+		PowerAvailWatts: g.availExcluding(laneID),
+		Current:         g.lanes[laneID].state,
+		AccelID:         laneID,
+		IdleAccels:      1, // each lane decides only for itself
+		Busy:            g.busyViews(now, false),
+	}
+}
+
+// availExcluding returns the unallocated budget with laneID's own draw
+// excluded (it is about to change state). Callers hold g.mu.
+func (g *governor) availExcluding(laneID int) float64 {
+	var used float64
+	for i := range g.lanes {
+		if i != laneID {
+			used += g.lanes[i].draw
+		}
+	}
+	return g.cfg.PowerBudgetWatts - used
+}
+
+// busyViews assembles the busy-lane views at now. With retimable set it
+// keeps only lanes still eligible for a DVFS change: not yet retimed this
+// batch and with enough remaining work to amortise the switch stall —
+// core.System's rate limit. The slice aliases g.scratch. Callers hold g.mu.
+func (g *governor) busyViews(now int64, retimable bool) []sched.BusyAccel {
+	views := g.scratch[:0]
+	amortise := 4 * g.cfg.Spec.DVFSSwitchNanos
+	for i := range g.lanes {
+		rec := &g.lanes[i]
+		if !rec.busy || rec.doneNanos <= now {
+			// A logically-completed batch awaiting retire offers no savings
+			// and must not be retimed (a scale-down's switch stall could push
+			// it past its deadline after the fact). The simulator retires all
+			// due batches before scheduling, so this also preserves parity.
+			continue
+		}
+		v := sched.BusyViewAt(i, rec.state, rec.batch, rec.minDeadline, rec.doneNanos, now)
+		if retimable && (rec.retimes != 0 || v.RemainingNanos <= amortise) {
+			continue
+		}
+		views = append(views, v)
+	}
+	g.scratch = views
+	return views
+}
+
+// redistribute spends the residual budget upgrading busy lanes by marginal
+// PPW, reserving headroom for idle lanes to pick up pending work at the
+// floor state (core.System.schedule's reserve rule). Callers hold g.mu.
+func (g *governor) redistribute(now int64, pending int) {
+	views := g.busyViews(now, true)
+	if len(views) == 0 {
+		return
+	}
+	var used float64
+	idle := 0
+	for i := range g.lanes {
+		used += g.lanes[i].draw
+		if !g.lanes[i].busy {
+			idle++
+		}
+	}
+	if pending < 0 {
+		pending = 0
+	}
+	if idle > pending {
+		idle = pending
+	}
+	floor := g.cfg.Spec.DVFSTable()[0]
+	reserve := float64(idle) * (g.cfg.BusyPower(floor) - g.cfg.Spec.IdlePower(floor))
+	avail := g.cfg.PowerBudgetWatts - used - reserve
+	for _, ch := range sched.Redistribute(g.cfg, views, avail) {
+		g.applyDVFS(ch.ID, ch.DVFS, now, sim.DVFSRedistribute)
+	}
+}
+
+// applyDVFS retimes a lane to a new operating point at now: remaining work
+// stalls for the switch delay and proceeds scaled by the frequency ratio
+// (the shared sched retime rule). Callers hold g.mu.
+func (g *governor) applyDVFS(laneID int, d cgra.DVFSState, now int64, reason sim.DVFSReason) {
+	rec := &g.lanes[laneID]
+	if rec.state == d {
+		return
+	}
+	var retimed int64
+	if rec.busy {
+		remaining := rec.doneNanos - now
+		if remaining < 0 {
+			remaining = 0
+		}
+		newDone := now + g.cfg.RetimedRemainingNanos(remaining, rec.state, d)
+		retimed = newDone - rec.doneNanos
+		rec.doneNanos = newDone
+		rec.retimes++
+		rec.draw = g.cfg.BusyPower(d)
+		switch reason {
+		case sim.DVFSSave:
+			rec.saves++
+		case sim.DVFSRedistribute:
+			rec.redistributes++
+		}
+	}
+	g.srv.probe.dvfs(sim.DVFSEvent{
+		TimeNanos: now, Accel: laneID, Reason: reason,
+		FromGHz: rec.state.FreqGHz, ToGHz: d.FreqGHz, RetimedNanos: retimed,
+	})
+	rec.state = d
+	g.noteDraw()
+}
+
+// noteDraw tracks the highest instantaneous draw committed so far — the
+// quantity the power budget constrains. Callers hold g.mu.
+func (g *governor) noteDraw() {
+	var watts float64
+	for i := range g.lanes {
+		watts += g.lanes[i].draw
+	}
+	if watts > g.maxDraw {
+		g.maxDraw = watts
+	}
+}
+
+// load returns the busy-lane count and total instantaneous draw.
+func (g *governor) load() (busy int, watts float64) {
+	if g.cfg == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.lanes {
+		watts += g.lanes[i].draw
+		if g.lanes[i].busy {
+			busy++
+		}
+	}
+	return busy, watts
+}
+
+// govCounters is a consistent snapshot of the governor's aggregates.
+type govCounters struct {
+	retries, rescues, saves, redistributes, parks, switches int64
+	maxDraw                                                 float64
+}
+
+func (g *governor) counters() govCounters {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := govCounters{retries: g.retries, rescues: g.rescues, maxDraw: g.maxDraw}
+	for i := range g.lanes {
+		c.saves += g.lanes[i].saves
+		c.redistributes += g.lanes[i].redistributes
+		c.parks += g.lanes[i].parks
+		c.switches += g.lanes[i].switches
+	}
+	return c
+}
+
+// LaneDVFSStats is one lane's published DVFS/power state and counters.
+type LaneDVFSStats struct {
+	// Lane is the lane index (the probe's accelerator id).
+	Lane int
+	// FreqGHz is the lane's present modelled operating point; DrawWatts its
+	// present modelled draw; Busy whether a batch is in flight.
+	FreqGHz   float64
+	DrawWatts float64
+	Busy      bool
+	// Switches counts at-issue operating-point changes; Saves scale-downs
+	// applied by Algorithm 2's saving step; Redistributes scale-ups from
+	// residual budget; Parks returns to the floor state at retire.
+	Switches      int64
+	Saves         int64
+	Redistributes int64
+	Parks         int64
+}
+
+// LaneDVFS returns every lane's DVFS/power state and governor counters.
+// Nil without a scheduling config.
+func (s *Server) LaneDVFS() []LaneDVFSStats {
+	if s.gov.cfg == nil {
+		return nil
+	}
+	s.gov.mu.Lock()
+	defer s.gov.mu.Unlock()
+	out := make([]LaneDVFSStats, len(s.gov.lanes))
+	for i := range s.gov.lanes {
+		rec := &s.gov.lanes[i]
+		out[i] = LaneDVFSStats{
+			Lane: i, FreqGHz: rec.state.FreqGHz, DrawWatts: rec.draw, Busy: rec.busy,
+			Switches: rec.switches, Saves: rec.saves,
+			Redistributes: rec.redistributes, Parks: rec.parks,
+		}
+	}
+	return out
+}

@@ -33,16 +33,29 @@ type lane struct {
 	// called under l.mu, so lane-local policies need no further locking.
 	policy sched.Scheduler
 
+	// deadlineFn is the bound minDeadlineFor method, built once so the
+	// admission path doesn't allocate a closure per decision.
+	deadlineFn func(int) int64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	queue       []query
 	lastArrival int64
-	// busyNanos accumulates the modelled service time (Σ issued t_total) of
-	// this lane — the per-accelerator makespan input of the throughput model.
+	// busyNanos accumulates the modelled service time of this lane (Σ issued
+	// t_total plus any governor retimes) — the per-accelerator makespan
+	// input of the throughput model.
 	busyNanos int64
-	// state is the lane's modelled DVFS operating point; meaningless
-	// (zero) without a scheduling config.
-	state    cgra.DVFSState
+	// freeNanos is the modelled completion time of the last issued batch —
+	// the earliest instant the lane's modelled accelerator is free again
+	// (modelled-clock admission starts the next decision there).
+	freeNanos int64
+	// savedAt is the decision instant whose power-saving retry has been
+	// spent; the governor runs the saving step at most once per instant,
+	// mirroring the simulator's once-per-schedule-call flag.
+	savedAt int64
+	// flushing releases the modelled-clock hold so Drain can run decisions
+	// that lie beyond the newest submitted arrival.
+	flushing bool
 	inflight bool
 	closed   bool
 
@@ -53,10 +66,10 @@ type lane struct {
 }
 
 func newLane(id int, s *Server) *lane {
-	l := &lane{id: id, srv: s}
+	l := &lane{id: id, srv: s, savedAt: -1 << 62}
 	l.cond = sync.NewCond(&l.mu)
+	l.deadlineFn = l.minDeadlineFor
 	if s.cfg.Sched != nil {
-		l.state = startState(s.cfg.Sched)
 		if s.cfg.Scheduler != nil {
 			l.policy = s.cfg.Scheduler(s.cfg.Sched)
 		} else {
@@ -64,6 +77,19 @@ func newLane(id int, s *Server) *lane {
 		}
 	}
 	return l
+}
+
+// minDeadlineFor returns the earliest deadline over the first n queued
+// queries — the in-flight slack bound the governor records at issue.
+// Called under l.mu (from inside the governor's admit critical section).
+func (l *lane) minDeadlineFor(n int) int64 {
+	min := l.queue[0].deadline
+	for _, q := range l.queue[1:n] {
+		if q.deadline < min {
+			min = q.deadline
+		}
+	}
+	return min
 }
 
 // startState mirrors core.System: the floor state under DVFS scheduling
@@ -95,6 +121,7 @@ func (l *lane) enqueue(q query) {
 	}
 	if len(l.queue) >= l.srv.cfg.MaxQueue {
 		old := l.queue[0]
+		l.queue[0] = query{} // release the evicted packet's buffers
 		l.queue = l.queue[1:]
 		l.srv.queued.Add(-1)
 		l.srv.stats.evicted.Add(1)
@@ -153,11 +180,27 @@ func (l *lane) now() int64 {
 	return l.lastArrival
 }
 
+// clearQueue zeroes vacated queue slots so dropped, evicted and issued
+// queries' packet buffers don't stay reachable through the backing array.
+func clearQueue(qs []query) {
+	for i := range qs {
+		qs[i] = query{}
+	}
+}
+
 // take blocks (when wait is true) until it can hand the caller a batch to
 // process, applying Algorithm 1 online: over-deadline and infeasible
 // queries are dropped with per-cause accounting until either a feasible
-// (dvfs, batch) candidate exists or the queue runs dry. Returns ok=false
-// when the lane is closed (worker mode) or the queue is empty (inline).
+// (dvfs, batch) candidate exists or the queue runs dry. Admission runs
+// through the server's power governor, which makes the decision and its
+// power commitment one transaction and retries power-infeasible decisions
+// after Algorithm 2's saving step. Returns ok=false when the lane is closed
+// (worker mode) or the queue is empty or held (inline).
+//
+// Under the modelled clock the decision instant is max(oldest arrival,
+// modelled free time) and only queries that have arrived by then join the
+// batch; a decision lying beyond the newest submitted arrival is held until
+// the logical clock catches up (or Drain flushes).
 func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok bool) {
 	cfg := l.srv.cfg.Sched
 	l.mu.Lock()
@@ -169,40 +212,52 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 		}
 		for len(l.queue) > 0 {
 			now = l.now()
+			arrived := len(l.queue)
+			if l.srv.cfg.ModelledClock {
+				if cfg != nil {
+					// Governor DVFS changes retime the lane's last batch after
+					// process recorded it; the decision instant tracks the
+					// retimed completion.
+					if free := l.srv.gov.projectedDone(l.id); free > l.freeNanos {
+						l.freeNanos = free
+					}
+				}
+				now = l.queue[0].arrival
+				if l.freeNanos > now {
+					now = l.freeNanos
+				}
+				if now > l.lastArrival && !l.flushing && !l.closed {
+					break // hold: the decision lies beyond the logical clock
+				}
+				arrived = 1
+				for arrived < len(l.queue) && l.queue[arrived].arrival <= now {
+					arrived++
+				}
+			}
 			if cfg == nil {
-				// No admission: serve the whole backlog as one batch.
-				batch = append(batch, l.queue...)
-				l.queue = l.queue[:0]
+				// No admission: serve the arrived backlog as one batch.
+				batch = append(batch, l.queue[:arrived]...)
+				clearQueue(l.queue[:arrived])
+				l.queue = l.queue[arrived:]
 				l.srv.queued.Add(-int64(len(batch)))
 				issue = sched.Issue{Batch: len(batch), TotalNanos: 0}
 				l.inflight = true
 				return batch, issue, now, true
 			}
 			oldest := l.queue[0]
-			avail := oldest.deadline - now
-			dec := l.policy.Decide(sched.SchedContext{
-				NowNanos:        now,
-				Queued:          len(l.queue),
-				AvailNanos:      avail,
-				PowerAvailWatts: l.srv.power.availFor(l.id),
-				Current:         l.state,
-				AccelID:         l.id,
-				IdleAccels:      1, // each lane decides only for itself
-			})
+			avail := oldest.deadline - now - l.srv.cfg.PrePipelineNanos
+			res := l.srv.gov.admit(l.id, now, arrived, avail, l.policy, l.deadlineFn,
+				now != l.savedAt)
+			if res.saved {
+				l.savedAt = now
+			}
 			var verdict sched.Verdict
-			issue, verdict = dec.Issue, dec.Verdict
+			issue, verdict = res.issue, res.verdict
 			if verdict == sched.VerdictIssued {
 				batch = append(batch, l.queue[:issue.Batch]...)
+				clearQueue(l.queue[:issue.Batch])
 				l.queue = l.queue[issue.Batch:]
 				l.srv.queued.Add(-int64(len(batch)))
-				if l.state != issue.DVFS {
-					l.srv.probe.dvfs(sim.DVFSEvent{
-						TimeNanos: now, Accel: l.id, Reason: sim.DVFSAtIssue,
-						FromGHz: l.state.FreqGHz, ToGHz: issue.DVFS.FreqGHz,
-					})
-				}
-				l.state = issue.DVFS
-				l.srv.power.setBusy(l.id, issue.DVFS)
 				l.inflight = true
 				return batch, issue, now, true
 			}
@@ -211,6 +266,7 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 			// so wake backpressured submitters and Drain waiters sharing the
 			// cond — if the whole backlog drains this way the worker parks in
 			// Wait below and nothing else would ever wake them.
+			l.queue[0] = query{} // release the dropped packet's buffers
 			l.queue = l.queue[1:]
 			l.srv.queued.Add(-1)
 			l.cond.Broadcast()
@@ -233,11 +289,12 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 }
 
 // process runs one issued batch through the lane's pipelines and accounts
-// the completions. The modelled completion time is now + t_total from the
-// latency tables; under a wall clock, completion is re-checked against the
-// deadline so real-time overruns surface as late responses.
+// the completions. The modelled completion time is now + pre-pipeline +
+// t_total from the latency tables, retimed by any governor DVFS changes the
+// batch received in flight; under a wall clock, completion is re-checked
+// against the deadline so real-time overruns surface as late responses.
 func (l *lane) process(batch []query, issue sched.Issue, now int64) {
-	done := now + issue.TotalNanos
+	done := now + l.srv.cfg.PrePipelineNanos + issue.TotalNanos
 	if l.srv.probe.active() {
 		for _, q := range batch {
 			l.srv.probe.query(sim.QueryEvent{
@@ -260,11 +317,32 @@ func (l *lane) process(batch []query, issue sched.Issue, now int64) {
 		}
 	}
 	elapsed := time.Since(start).Nanoseconds()
+	// Attribute each query its share of the batch wall time: recording the
+	// whole-batch elapsed once per query would inflate the per-query
+	// percentiles by the batch size.
+	share := elapsed / int64(len(batch))
 	for range batch {
-		l.lat.Record(elapsed)
+		l.lat.Record(share)
 	}
 	l.procMu.Unlock()
 
+	modelledDone := done
+	if l.srv.cfg.Sched != nil {
+		if l.srv.cfg.ModelledClock {
+			// The batch completes on modelled time, possibly retimed by
+			// governor DVFS changes since issue; its power is released
+			// lazily when the governor's event clock passes the completion
+			// (retireDue), not here — the wall-clock dispatch finishing
+			// carries no modelled meaning.
+			modelledDone = l.srv.gov.projectedDone(l.id)
+		} else {
+			// Live serving: the dispatch finishing IS the completion.
+			// Retire through the governor: park at the floor under DVFS
+			// scheduling and spend the freed budget on still-busy lanes.
+			modelledDone = l.srv.gov.retire(l.id)
+		}
+		done = modelledDone
+	}
 	if l.srv.cfg.Clock != nil {
 		done = l.srv.cfg.Clock()
 	}
@@ -281,20 +359,40 @@ func (l *lane) process(batch []query, issue sched.Issue, now int64) {
 	}
 	l.srv.stats.batches.Add(1)
 	l.srv.stats.batchSum.Add(int64(len(batch)))
-	l.srv.power.setIdle(l.id, l.state)
 	l.srv.sample(done)
 
 	l.mu.Lock()
-	l.busyNanos += issue.TotalNanos
+	l.busyNanos += modelledDone - now - l.srv.cfg.PrePipelineNanos
+	l.freeNanos = modelledDone
 	l.inflight = false
 	l.mu.Unlock()
 	l.cond.Broadcast()
 }
 
+// advance moves the lane's logical clock to now and (inline modelled mode)
+// dispatches every decision due at or before it — the simulator's
+// advance-internal-events-then-arrive ordering, so queue occupancy at the
+// arrival instant matches core.System's.
+func (l *lane) advance(now int64) {
+	l.mu.Lock()
+	if now > l.lastArrival {
+		l.lastArrival = now
+	}
+	l.mu.Unlock()
+	l.dispatchAll()
+}
+
 // drain blocks until the lane's queue is empty and no batch is in flight.
+// Under the modelled clock it flushes first: held decisions (beyond the
+// newest submitted arrival) are released so the backlog can complete.
 func (l *lane) drain() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.srv.cfg.ModelledClock && !l.closed {
+		l.flushing = true
+		l.cond.Broadcast()
+		defer func() { l.flushing = false }()
+	}
 	for (len(l.queue) > 0 || l.inflight) && !l.closed {
 		l.cond.Wait()
 	}

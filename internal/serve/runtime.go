@@ -4,93 +4,18 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"lighttrader/internal/cgra"
 	"lighttrader/internal/exchange"
-	"lighttrader/internal/sched"
 	"lighttrader/internal/sim"
 )
 
-// powerMeter tracks every lane's modelled draw against the shared
-// accelerator power budget — the online analogue of the simulator's
-// powerAvailExcluding. Without a scheduling config the meter is inert.
-type powerMeter struct {
-	cfg *sched.Config
-
-	mu   sync.Mutex
-	draw []float64
-	busy []bool
-}
-
-func newPowerMeter(cfg *sched.Config, lanes int) *powerMeter {
-	m := &powerMeter{cfg: cfg, draw: make([]float64, lanes), busy: make([]bool, lanes)}
-	if cfg != nil {
-		idle := cfg.Spec.IdlePower(startState(cfg))
-		for i := range m.draw {
-			m.draw[i] = idle
-		}
-	}
-	return m
-}
-
-// availFor returns the unallocated budget with lane id's own draw
-// excluded (it is about to change state).
-func (m *powerMeter) availFor(id int) float64 {
-	if m.cfg == nil {
-		return 0
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var used float64
-	for i, w := range m.draw {
-		if i != id {
-			used += w
-		}
-	}
-	return m.cfg.PowerBudgetWatts - used
-}
-
-// setBusy charges lane id with the busy draw of state d.
-func (m *powerMeter) setBusy(id int, d cgra.DVFSState) {
-	if m.cfg == nil {
-		return
-	}
-	m.mu.Lock()
-	m.draw[id] = m.cfg.BusyPower(d)
-	m.busy[id] = true
-	m.mu.Unlock()
-}
-
-// setIdle returns lane id to the idle draw of state d.
-func (m *powerMeter) setIdle(id int, d cgra.DVFSState) {
-	if m.cfg == nil {
-		return
-	}
-	m.mu.Lock()
-	m.draw[id] = m.cfg.Spec.IdlePower(d)
-	m.busy[id] = false
-	m.mu.Unlock()
-}
-
-// load returns the busy-lane count and total instantaneous draw.
-func (m *powerMeter) load() (busy int, watts float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, w := range m.draw {
-		watts += w
-		if m.busy[i] {
-			busy++
-		}
-	}
-	return busy, watts
-}
-
 // sample emits a load observation to the probe after a dispatch, mirroring
-// the simulator's post-scheduling samples.
+// the simulator's post-scheduling samples. Lane draws are read from the
+// power governor, the single owner of the runtime's power accounting.
 func (s *Server) sample(now int64) {
 	if !s.probe.active() {
 		return
 	}
-	busy, watts := s.power.load()
+	busy, watts := s.gov.load()
 	s.probe.sampleEv(sim.Sample{
 		TimeNanos:  now,
 		QueueDepth: int(s.queued.Load()),
@@ -145,6 +70,25 @@ type Stats struct {
 	MeanBatch float64
 	// ResponseRate is Served / Submitted (0 when nothing was submitted).
 	ResponseRate float64
+	// Power-governor counters, populated when a scheduling config with DVFS
+	// scheduling is attached and the governor is enabled (all zero
+	// otherwise). PowerSaveRetries counts power-infeasible decisions that
+	// triggered an Algorithm-2 saving pass over the other busy lanes;
+	// PowerSaveRescues counts retries whose re-decision then issued.
+	PowerSaveRetries int
+	PowerSaveRescues int
+	// DVFSSaves / DVFSRedistributes / DVFSParks count in-flight retimes by
+	// cause: budget-freeing scale-downs, retire-time scale-ups spending
+	// leftover budget, and idle parks to the floor state. DVFSSwitches
+	// counts issue-time state changes (Algorithm-1 choosing a different
+	// operating point than the lane's current one).
+	DVFSSaves         int
+	DVFSRedistributes int
+	DVFSParks         int
+	DVFSSwitches      int
+	// MaxPowerWatts is the high-water mark of the modelled total draw across
+	// lanes, measured after every governor action.
+	MaxPowerWatts float64
 	// Signal-distribution counters, populated when a signal gateway is
 	// attached (Config.Signals). SignalsPublished counts publish-hook
 	// invocations across symbols, SignalsDelivered counts deliveries to

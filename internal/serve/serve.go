@@ -47,6 +47,13 @@ type Config struct {
 	// accelerator. 0 runs the runtime inline on the caller's goroutine
 	// (the degenerate serial configuration); negative is an error.
 	Lanes int
+	// Inline dispatches on the submitter's goroutine even with Lanes > 1:
+	// the lanes exist as logical accelerators (sharding, admission, power
+	// accounting) but no workers run, so a multi-lane replay is
+	// deterministic — the mode the limited-power sweeps use to compare
+	// governor policies without wall-clock interleaving noise. Implied by
+	// Lanes == 0.
+	Inline bool
 	// MaxQueue bounds each lane's query queue; an arrival beyond it evicts
 	// the lane's oldest query (stale-tensor management). 0 means 64;
 	// negative is an error.
@@ -75,6 +82,28 @@ type Config struct {
 	// timestamp it has accepted, which makes runs over recorded traces
 	// deterministic and independent of wall time.
 	Clock func() int64
+	// ModelledClock replays a recorded trace on simulator time: each lane's
+	// decision instant is max(oldest arrival, modelled free time of its
+	// accelerator per the latency tables), only queries arrived by that
+	// instant join a batch, and decisions beyond the newest submitted
+	// arrival are held until the logical clock catches up (Drain flushes
+	// them). It reproduces the back-test simulator's admission timing — the
+	// sim-vs-serve differential mode — and is incompatible with Clock.
+	ModelledClock bool
+	// PrePipelineNanos is the modelled FPGA front-pipeline time (packet
+	// parse, book update, feature packing) charged before a query reaches
+	// the accelerator: it is subtracted from the admission deadline budget
+	// and added to the modelled completion. 0 models a free front pipeline
+	// (the historical serving behaviour); core.DefaultPrePipelineNanos
+	// matches the simulator.
+	PrePipelineNanos int64
+	// DisablePowerGovernor turns off the online Algorithm-2 power governor
+	// (SavePower retry on power-infeasible admission, residual-budget
+	// redistribution, retire-time parking), leaving plain Algorithm-1
+	// admission against the shared budget — the pre-governor baseline the
+	// limited-power experiments compare against. Admission power accounting
+	// stays transactional either way.
+	DisablePowerGovernor bool
 	// Probe observes the runtime's query lifecycle, queue depth and power
 	// samples with the same event taxonomy as the back-test simulator.
 	// Events from concurrent lanes are serialised but may interleave
@@ -100,7 +129,7 @@ type Server struct {
 	cfg   Config
 	lanes []*lane
 	bySec map[int32]*lane // securityID → owning lane
-	power *powerMeter
+	gov   *governor
 	probe *lockedProbe
 	stats *stats
 
@@ -140,6 +169,17 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 	if cfg.TAvailNanos < 0 {
 		return nil, fmt.Errorf("serve: negative deadline budget %d ns", cfg.TAvailNanos)
 	}
+	if cfg.PrePipelineNanos < 0 {
+		return nil, fmt.Errorf("serve: negative pre-pipeline time %d ns", cfg.PrePipelineNanos)
+	}
+	if cfg.ModelledClock && cfg.Clock != nil {
+		return nil, errors.New("serve: ModelledClock is incompatible with an external Clock")
+	}
+	if cfg.ModelledClock && cfg.Backpressure {
+		// A blocked submitter can never advance the logical clock, and a held
+		// decision can never free queue space: mutual wait, so reject the pair.
+		return nil, errors.New("serve: ModelledClock is incompatible with Backpressure")
+	}
 	if cfg.MaxQueue == 0 {
 		cfg.MaxQueue = 64
 	}
@@ -154,10 +194,10 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		bySec: make(map[int32]*lane, len(pipes)),
-		power: newPowerMeter(cfg.Sched, n),
 		probe: newLockedProbe(cfg.Probe),
 		stats: &stats{},
 	}
+	s.gov = newGovernor(s, cfg.Sched, n)
 	s.lanes = make([]*lane, n)
 	for i := range s.lanes {
 		s.lanes[i] = newLane(i, s)
@@ -196,7 +236,7 @@ func (s *Server) Subscribe(symbol string) (*signal.Subscription, error) {
 func (s *Server) Lanes() int { return len(s.lanes) }
 
 // Inline reports whether the runtime dispatches on the caller's goroutine.
-func (s *Server) Inline() bool { return s.cfg.Lanes == 0 }
+func (s *Server) Inline() bool { return s.cfg.Lanes == 0 || s.cfg.Inline }
 
 // Run starts the lane workers and blocks until ctx is cancelled, then
 // stops the lanes and waits for their in-flight batches to finish
@@ -271,6 +311,12 @@ func (s *Server) submit(arrivalNanos int64, pkt sbe.Packet) {
 			TimeNanos: arrivalNanos, Kind: sim.QueryArrive,
 			Query: simQuery(q), Accel: -1,
 		})
+		if s.Inline() && s.cfg.ModelledClock {
+			// Advance-then-arrive: dispatch every decision due at or before
+			// the new arrival first, so the queue the arrival lands in (and
+			// may evict from) matches the simulator's event ordering.
+			l.advance(arrivalNanos)
+		}
 		l.enqueue(q)
 		if s.Inline() {
 			l.dispatchAll()
@@ -380,10 +426,30 @@ func (s *Server) route(pkt sbe.Packet) []*lane {
 // Drain blocks until every lane's queue is empty and no batch is in
 // flight, then returns. Combined with the logical clock it gives tests a
 // quiesce point: after Drain, books, order logs and stats are stable.
-// Inline mode is always drained.
+// Under the modelled clock Drain flushes held decisions (those beyond the
+// newest submitted arrival) — the end-of-trace drain of the simulator.
+// Inline mode dispatches the flush on the caller's goroutine.
 func (s *Server) Drain() {
+	if s.Inline() && s.cfg.ModelledClock {
+		s.inlineMu.Lock()
+		defer s.inlineMu.Unlock()
+		for _, l := range s.lanes {
+			l.mu.Lock()
+			l.flushing = true
+			l.mu.Unlock()
+			l.dispatchAll()
+			l.mu.Lock()
+			l.flushing = false
+			l.mu.Unlock()
+		}
+		s.gov.flush()
+		return
+	}
 	for _, l := range s.lanes {
 		l.drain()
+	}
+	if s.cfg.ModelledClock {
+		s.gov.flush()
 	}
 }
 
@@ -437,10 +503,21 @@ func (s *Server) OnExecReport(rep exchange.ExecReport) {
 	}
 }
 
-// Stats returns a consistent copy of the runtime counters. With a signal
-// gateway attached, the signal-distribution counters are folded in.
+// Stats returns a consistent copy of the runtime counters. With a
+// scheduling config the power-governor counters are folded in; with a
+// signal gateway attached, the signal-distribution counters are too.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()
+	if s.gov.cfg != nil {
+		gc := s.gov.counters()
+		st.PowerSaveRetries = int(gc.retries)
+		st.PowerSaveRescues = int(gc.rescues)
+		st.DVFSSaves = int(gc.saves)
+		st.DVFSRedistributes = int(gc.redistributes)
+		st.DVFSParks = int(gc.parks)
+		st.DVFSSwitches = int(gc.switches)
+		st.MaxPowerWatts = gc.maxDraw
+	}
 	if s.cfg.Signals != nil {
 		gs := s.cfg.Signals.Stats()
 		st.SignalsPublished = gs.Published

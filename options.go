@@ -138,14 +138,16 @@ type config struct {
 	schedOpts SchedulerOptions
 	admission bool // any scheduling feature requested
 
-	probe        Probe
-	deadline     time.Duration
-	maxQueue     int
-	backpressure bool
-	inline       bool
-	sink         OrderSink
-	clock        func() int64
-	signals      *SignalGateway
+	probe         Probe
+	deadline      time.Duration
+	maxQueue      int
+	backpressure  bool
+	inline        bool
+	modelledClock bool
+	noPowerGov    bool
+	sink          OrderSink
+	clock         func() int64
+	signals       *SignalGateway
 }
 
 // Option configures New, NewServer or BacktestContext. Options that do not
@@ -232,6 +234,22 @@ func WithBackpressure() Option { return func(c *config) { c.backpressure = true 
 // Server.OnDecodedPacket).
 func WithInline() Option { return func(c *config) { c.inline = true } }
 
+// WithModelledClock runs serving admission and completion on modelled
+// arrival time instead of the wall clock: decisions read each query's
+// submitted arrival timestamp and batches complete at their scheduled
+// latency-table instants, so a replayed trace reproduces the back-test
+// simulator's timing exactly regardless of host speed. Requires
+// Algorithm-1 admission; incompatible with WithClock and WithBackpressure.
+// Serving only.
+func WithModelledClock() Option { return func(c *config) { c.modelledClock = true } }
+
+// WithoutPowerGovernor disables the online Algorithm-2 power governor, the
+// drop-on-power-infeasible status quo: lanes keep their last operating
+// point while idle and power-infeasible decisions are dropped instead of
+// retried after a cross-lane saving step. Serving only; the default (with
+// DVFS scheduling) is governed.
+func WithoutPowerGovernor() Option { return func(c *config) { c.noPowerGov = true } }
+
 // WithOrderSink routes generated orders to sink. Serving only.
 func WithOrderSink(sink OrderSink) Option { return func(c *config) { c.sink = sink } }
 
@@ -268,20 +286,24 @@ func New(m *Model, opts ...Option) (System, error) {
 // set. WithAccelerators sets the lane count (WithInline selects the serial
 // degenerate configuration instead); WithWorkloadScheduling/
 // WithDVFSScheduling enable online Algorithm-1 admission with latency
-// tables compiled for the first subscription's model under WithPowerBudget;
-// WithDeadline, WithMaxQueue, WithBackpressure, WithProbe, WithOrderSink
-// and WithClock configure the runtime directly. Start lanes with
-// Server.Run; feed packets with Server.Submit.
+// tables compiled for the first subscription's model under WithPowerBudget
+// (DVFS scheduling also arms the online Algorithm-2 power governor; opt out
+// with WithoutPowerGovernor); WithDeadline, WithMaxQueue, WithBackpressure,
+// WithModelledClock, WithProbe, WithOrderSink and WithClock configure the
+// runtime directly. Start lanes with Server.Run; feed packets with
+// Server.Submit.
 func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 	cfg := resolve(opts)
 	scfg := serve.Config{
-		MaxQueue:     cfg.maxQueue,
-		Backpressure: cfg.backpressure,
-		TAvailNanos:  cfg.deadline.Nanoseconds(),
-		Clock:        cfg.clock,
-		Probe:        cfg.probe,
-		OnOrders:     cfg.sink,
-		Signals:      cfg.signals,
+		MaxQueue:             cfg.maxQueue,
+		Backpressure:         cfg.backpressure,
+		TAvailNanos:          cfg.deadline.Nanoseconds(),
+		ModelledClock:        cfg.modelledClock,
+		DisablePowerGovernor: cfg.noPowerGov,
+		Clock:                cfg.clock,
+		Probe:                cfg.probe,
+		OnOrders:             cfg.sink,
+		Signals:              cfg.signals,
 	}
 	if !cfg.inline {
 		scfg.Lanes = cfg.accels
@@ -297,6 +319,7 @@ func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 		}
 		scfg.Sched = &syscfg.Sched
 		scfg.Scheduler = syscfg.Scheduler
+		scfg.PrePipelineNanos = syscfg.PrePipelineNanos
 	}
 	return serve.New(mp, scfg)
 }
