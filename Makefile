@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout bench-power sched-smoke fanout-smoke power-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout bench-power bench-scenario sched-smoke fanout-smoke power-smoke scenario-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ bench-sched:
 bench-power:
 	$(GO) run ./cmd/ltbench -powerjson BENCH_power.json
 
+# The scenario × configuration chaos matrix: every registered market
+# scenario (quiet, opening burst, flash crash, halt/resume, thin book,
+# correlated multi-symbol shock, trading day) replayed through the
+# instrumented simulator on three capacity rungs, with per-cause miss
+# attribution, archived as JSON. See EXPERIMENTS.md.
+bench-scenario:
+	$(GO) run ./cmd/ltbench -scenariojson BENCH_scenario.json -parallel 0
+
 # The signal fan-out experiment: propagation percentiles and conflation
 # drops at 1k/10k/100k subscribers, the 1→8 shard sweep (modelled
 # throughput), and the faultnet chaos scenario, archived as JSON. See
@@ -98,6 +106,15 @@ power-smoke:
 		./internal/bench/
 	$(GO) test -race -run 'TestGovernorPowerCapProperty' ./internal/serve/
 
+# Scenario smoke: the chaos-matrix shape/non-vacuity check and the
+# three-way sim/serve/venue differential — one scenario byte stream must
+# produce identical per-cause miss attribution through the offline
+# simulator, the serving runtime, and a live venue's UDP republication.
+scenario-smoke:
+	$(GO) test -run 'TestScenarioMatrixSmoke|TestScenarioSimServeVenueDifferential' \
+		./internal/bench/
+	$(GO) test -run 'TestScenario' ./internal/trader/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -115,6 +132,8 @@ fuzz-smoke:
 # iteration benchmark smoke runs (kernels and the zero-alloc tick path),
 # the scheduling policy-matrix smoke, the signal fan-out smoke with its
 # publish-hook allocation gate, the power-governor smoke (sim-vs-serve
-# differential, recovery claim, budget-safety race test), and a short fuzz
+# differential, recovery claim, budget-safety race test), the scenario
+# smoke (chaos-matrix shape plus the three-way sim/serve/venue scenario
+# differential and the degraded-mode trader regressions), and a short fuzz
 # pass over the wire decoders.
-ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke power-smoke fuzz-smoke
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke power-smoke scenario-smoke fuzz-smoke

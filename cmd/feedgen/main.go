@@ -1,9 +1,11 @@
-// Command feedgen generates a synthetic CME-like tick trace and writes it
-// to a binary trace file for exactly re-runnable back-tests.
+// Command feedgen generates a synthetic CME-like tick trace — or renders a
+// named market scenario (flash crash, halt/resume, ...) — and writes it to
+// a binary trace file for exactly re-runnable back-tests.
 //
 // Usage:
 //
 //	feedgen -out ticks.lttr -ticks 100000 -seed 7
+//	feedgen -out crash.lttr -scenario flash-crash -seed 3
 //	feedgen -out ticks.lttr -stats
 package main
 
@@ -11,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lighttrader"
 	"lighttrader/internal/feed"
@@ -21,23 +24,40 @@ func main() {
 	ticks := flag.Int("ticks", 100000, "number of ticks")
 	seed := flag.Int64("seed", 1, "generator seed")
 	mid := flag.Int64("mid", 450000, "initial mid price in ticks")
+	scenarioName := flag.String("scenario", "", "render a named market scenario instead of the synthetic trace: "+strings.Join(lighttrader.ScenarioNames(), ", "))
 	stats := flag.Bool("stats", false, "print arrival statistics")
 	flag.Parse()
 
-	cfg := lighttrader.DefaultTraceConfig()
-	cfg.Seed = *seed
-	cfg.MidPrice = *mid
-	trace := lighttrader.GenerateTrace(cfg, *ticks)
+	var symbol string
+	var trace []lighttrader.Tick
+	if *scenarioName != "" {
+		src, err := lighttrader.ScenarioByName(*scenarioName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		trace = src.Ticks()
+		symbol = src.Script().Instruments[0].Symbol
+		for _, sp := range src.PhaseSpans() {
+			fmt.Printf("phase %-12s %8.3f s  %6d packets  %d withheld\n",
+				sp.Name, float64(sp.EndNanos-sp.StartNanos)/1e9, sp.Ticks, sp.Withheld)
+		}
+	} else {
+		cfg := lighttrader.DefaultTraceConfig()
+		cfg.Seed = *seed
+		cfg.MidPrice = *mid
+		trace = lighttrader.GenerateTrace(cfg, *ticks)
+		symbol = cfg.Symbol
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := lighttrader.WriteTrace(f, cfg.Symbol, trace); err != nil {
+	if err := lighttrader.WriteTrace(f, symbol, trace); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d ticks (%s) to %s\n", len(trace), cfg.Symbol, *out)
+	fmt.Printf("wrote %d ticks (%s) to %s\n", len(trace), symbol, *out)
 
 	if *stats {
 		s := feed.ComputeStats(trace)

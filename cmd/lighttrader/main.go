@@ -10,6 +10,7 @@
 //	lighttrader -model deeplob -accels 4 -power sufficient -ws -ds
 //	lighttrader -trace ticks.lttr -system gpu
 //	lighttrader -ticks 50000 -tavail 20ms -seed 7
+//	lighttrader -scenario flash-crash -seed 3 -power limited -ws -ds
 //	lighttrader -serve -symbols 8 -accels 8
 //	lighttrader -signal-listen :9000 -symbols 4
 package main
@@ -40,6 +41,7 @@ func main() {
 	ticks := flag.Int("ticks", 40000, "synthetic trace length (total packets in -serve mode)")
 	seed := flag.Int64("seed", 1, "synthetic trace seed")
 	tracePath := flag.String("trace", "", "replay a recorded trace file instead of generating one")
+	scenarioName := flag.String("scenario", "", "replay a named market scenario instead of the synthetic trace: "+strings.Join(lighttrader.ScenarioNames(), ", "))
 	tavail := flag.Duration("tavail", 20*time.Millisecond, "available time per query (t_avail)")
 	serveMode := flag.Bool("serve", false, "drive the concurrent serving runtime instead of a back-test")
 	symbols := flag.Int("symbols", 8, "subscribed instruments (-serve mode)")
@@ -82,9 +84,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	trace, err := loadTrace(*tracePath, *ticks, *seed)
-	if err != nil {
-		fatal(err)
+	var trace []lighttrader.Tick
+	if *scenarioName != "" {
+		if *tracePath != "" {
+			fatal(fmt.Errorf("-scenario and -trace are mutually exclusive"))
+		}
+		src, err := lighttrader.ScenarioByName(*scenarioName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		trace = src.Ticks()
+	} else {
+		trace, err = loadTrace(*tracePath, *ticks, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var sys lighttrader.System

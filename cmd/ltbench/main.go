@@ -12,6 +12,7 @@
 //	ltbench -schedjson out.json  # archive the sched-matrix rows as JSON
 //	ltbench -fanoutjson out.json # archive the signal fan-out rows as JSON
 //	ltbench -powerjson out.json  # archive the limited-power recovery sweep as JSON
+//	ltbench -scenariojson out.json # archive the scenario chaos matrix as JSON
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
 //	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
@@ -47,6 +48,7 @@ func main() {
 	schedjson := flag.String("schedjson", "", "run the sched-matrix experiment and write its rows as JSON to this path")
 	fanoutjson := flag.String("fanoutjson", "", "run the signal fan-out experiment and write its rows as JSON to this path")
 	powerjson := flag.String("powerjson", "", "run the limited-power recovery sweep and write its rows as JSON to this path")
+	scenariojson := flag.String("scenariojson", "", "run the scenario chaos matrix and write its rows as JSON to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -82,7 +84,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *fanoutjson == "" && *powerjson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *fanoutjson == "" && *powerjson == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -92,7 +94,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fanoutjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *powerjson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *powerjson == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -100,6 +102,16 @@ func main() {
 	if *powerjson != "" {
 		if err := writePowerJSON(*powerjson); err != nil {
 			fmt.Fprintf(os.Stderr, "powerjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
+			return // archive run: don't also regenerate the whole suite
+		}
+	}
+
+	if *scenariojson != "" {
+		if err := writeScenarioJSON(*scenariojson, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "scenariojson: %v\n", err)
 			os.Exit(1)
 		}
 		if *trace == "" && strings.EqualFold(*exp, "all") {
@@ -246,6 +258,25 @@ func writePowerJSON(path string) error {
 	fmt.Print(bench.RenderPowerSweep(rows))
 	fmt.Printf("power sweep written to %s\n", path)
 	fmt.Printf("[power-sweep completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeScenarioJSON runs the scenario × configuration chaos matrix and
+// archives its rows. The matrix replays its own registry of seeded byte
+// streams at the scenario horizon budget, independent of -ticks/-tavail.
+func writeScenarioJSON(path string, parallel int) error {
+	start := time.Now()
+	rows := bench.ScenarioMatrixWorkers(bench.ScenarioTAvailNanos, parallel)
+	data, err := bench.ScenarioMatrixJSON(bench.ScenarioTAvailNanos, rows)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderScenarioMatrix(rows))
+	fmt.Printf("scenario matrix written to %s\n", path)
+	fmt.Printf("[scenario-matrix completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -164,3 +164,57 @@ func TestPublicServing(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioFacade covers the unified-traffic vocabulary: ScenarioByName
+// resolves the registry, WithScenario substitutes a scenario for the ticks
+// argument of BacktestContext (identically to passing its Ticks()), and
+// ReplayScenario drives a serving runtime losslessly from the same source.
+func TestScenarioFacade(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no registered scenarios")
+	}
+	if _, err := ScenarioByName("no-such-regime", 1); err == nil {
+		t.Fatal("unknown scenario name resolved")
+	}
+	src, err := ScenarioByName("flash-crash", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := func() System {
+		s, err := New(NewVanillaCNN(), WithAccelerators(2), WithWorkloadScheduling())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	via := BacktestContext(context.Background(), nil, time.Millisecond, sys(), WithScenario(src))
+	direct := Backtest(src.Ticks(), time.Millisecond, sys())
+	if via != direct {
+		t.Fatalf("WithScenario back-test diverged from explicit ticks:\n%+v\n%+v", via, direct)
+	}
+	if via.Total != len(src.Packets()) {
+		t.Fatalf("back-test saw %d queries for %d scenario packets", via.Total, len(src.Packets()))
+	}
+
+	ins := src.Script().Instruments[0]
+	tcfg := DefaultTradingConfig(ins.SecurityID)
+	tcfg.MinConfidence = 0
+	mp := NewMultiPipeline()
+	if err := mp.Add(ins.Symbol, ins.SecurityID, NewSizedCNN("facade-scn", 4, 0),
+		CalibrateNormalizer(src.Ticks()[:200]), tcfg); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(mp, WithInline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayScenario(srv, src); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Submitted != len(src.Packets()) || st.Served != st.Submitted || st.Dropped() != 0 {
+		t.Fatalf("scenario replay through the serving facade lost queries: %+v", st)
+	}
+}

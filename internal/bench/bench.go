@@ -13,11 +13,17 @@ import (
 	"lighttrader/internal/core"
 	"lighttrader/internal/feed"
 	"lighttrader/internal/nn"
+	"lighttrader/internal/scenario"
 	"lighttrader/internal/sim"
 )
 
 // TrafficConfig defines the market-data workload all figure experiments
 // replay: a Hawkes-clustered tick stream and the per-tick available time.
+//
+// Deprecated: constructing TrafficConfig field by field is the legacy
+// entry point. New workloads should build a scenario.Source (or use
+// scenario.ByName) and wrap it with FromScenario; the Hawkes/Flash fields
+// remain as the adapter for the historical bursty-replay trace.
 type TrafficConfig struct {
 	// Calm is the routine-quoting Hawkes component (moderate clustering);
 	// Burst is the rare near-critical cascade component; Flash is the very
@@ -31,6 +37,16 @@ type TrafficConfig struct {
 	Ticks int
 	// TAvailNanos is t_avail, the prediction-horizon budget per query.
 	TAvailNanos int64
+	// Scenario, when set, overrides the Hawkes/Flash replay entirely: the
+	// query stream is the scenario's Queries() projection. A pointer keeps
+	// TrafficConfig usable as the query-cache map key (sources are memoised
+	// internally, so sharing one pointer across cells shares one stream).
+	Scenario *scenario.Source
+}
+
+// FromScenario wraps a scenario Source as a benchmark workload.
+func FromScenario(src *scenario.Source, tAvailNanos int64) TrafficConfig {
+	return TrafficConfig{Scenario: src, Seed: src.Seed(), TAvailNanos: tAvailNanos}
 }
 
 // DefaultTraffic is calibrated so the response-rate experiments land in
@@ -82,20 +98,15 @@ func (tc TrafficConfig) Queries() []sim.Query {
 	return qs
 }
 
-// generate builds the query stream outside the cache lock.
+// generate builds the query stream outside the cache lock. Both branches
+// go through scenario.Source — the unified traffic API; the legacy branch
+// is byte-identical to the historical feed.Generator path.
 func (tc TrafficConfig) generate() []sim.Query {
-	gcfg := feed.DefaultGeneratorConfig()
-	gcfg.Arrivals = feed.NewProcessMixture([]feed.ArrivalProcess{
-		feed.NewHawkes(tc.Calm, tc.Seed+1),
-		feed.NewHawkes(tc.Burst, tc.Seed+7919),
-		feed.NewFlash(tc.Flash, tc.Seed+15887),
-	})
-	gcfg.Seed = tc.Seed
-	gen, err := feed.NewGenerator(gcfg)
-	if err != nil {
-		panic(err) // static config; cannot fail
+	src := tc.Scenario
+	if src == nil {
+		src = scenario.FromTraffic(tc.Calm, tc.Burst, tc.Flash, tc.Seed, tc.Ticks)
 	}
-	return sim.QueriesFromTicks(gen.Generate(tc.Ticks), tc.TAvailNanos)
+	return src.Queries(tc.TAvailNanos)
 }
 
 // Scale returns a copy with the tick count scaled by f (for -short runs).

@@ -50,6 +50,7 @@ func Experiments(tc TrafficConfig) []Experiment {
 		{Name: "ablation-switch", Run: func() string { return RenderAblationSwitchDelay(AblationSwitchDelay(tc)) }},
 		{Name: "ablation-burstiness", Run: func() string { return RenderAblationBurstiness(AblationBurstiness(tc)) }},
 		{Name: "sched-matrix", Run: func() string { return RenderSchedMatrix(SchedMatrix(tc)) }},
+		{Name: "scenario-matrix", Run: func() string { return RenderScenarioMatrix(ScenarioMatrix(ScenarioTAvailNanos)) }},
 	}
 }
 

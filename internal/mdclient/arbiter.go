@@ -125,7 +125,11 @@ func (a *Arbiter) park(seq uint32, buf []byte) {
 // datagram, needed when the packet must be parked into owned storage.
 func (a *Arbiter) onPacket(pkt sbe.Packet, buf []byte) {
 	// A snapshot resynchronises regardless of state: expected sequence
-	// becomes the snapshot's LastMsgSeqNum+1.
+	// becomes the snapshot's LastMsgSeqNum+1 — or one past the snapshot's
+	// own sequence number when that is higher, since the venue's snapshot
+	// consumes a slot on the same channel it summarises (waiting for the
+	// snapshot's own seq again would strand the stream one packet ahead
+	// until the next periodic refresh).
 	if snap := findSnapshot(pkt); snap != nil {
 		if a.recovering || !a.synced {
 			a.synced = true
@@ -133,7 +137,7 @@ func (a *Arbiter) onPacket(pkt sbe.Packet, buf []byte) {
 				a.recovering = false
 				a.stats.Recoveries++
 			}
-			a.nextSeq = snap.LastMsgSeqNum + 1
+			a.nextSeq = resyncSeq(snap, pkt)
 			a.stats.Delivered++
 			a.deliver(pkt)
 			a.drainPending()
@@ -152,7 +156,7 @@ func (a *Arbiter) onPacket(pkt sbe.Packet, buf []byte) {
 			return
 		}
 		if snap.LastMsgSeqNum+1 > a.nextSeq {
-			a.nextSeq = snap.LastMsgSeqNum + 1
+			a.nextSeq = resyncSeq(snap, pkt)
 			a.stats.Recoveries++
 			a.stats.Delivered++
 			a.deliver(pkt)
@@ -227,6 +231,20 @@ func (a *Arbiter) drainPending() {
 			a.stats.Duplicates++
 		}
 	}
+}
+
+// resyncSeq is the next expected sequence after accepting a recovery
+// snapshot. Venues differ in where snapshots live: on a dedicated channel
+// (disjoint numbering — CME-style), the stream resumes at LastMsgSeqNum+1;
+// when the snapshot rides the incremental channel itself (our exchange
+// engine), it consumes exactly the LastMsgSeqNum+1 slot, and waiting for
+// that sequence again would strand the stream one packet ahead until the
+// next periodic refresh. The packet's own header tells the two apart.
+func resyncSeq(snap *sbe.SnapshotFullRefresh, pkt sbe.Packet) uint32 {
+	if pkt.SeqNum == snap.LastMsgSeqNum+1 {
+		return pkt.SeqNum + 1
+	}
+	return snap.LastMsgSeqNum + 1
 }
 
 // findSnapshot returns the packet's snapshot message, if any.

@@ -169,14 +169,16 @@ func TestSnapshotResyncAfterTailLoss(t *testing.T) {
 	if s := a.Stats(); s.Recoveries != 1 {
 		t.Fatalf("stats %+v", s)
 	}
-	// The stream resumes past the snapshot; late replays of the lost range
-	// are duplicates.
+	// The snapshot consumed its own slot on the shared channel (its seq is
+	// LastMsgSeqNum+1), so the stream resumes one past it; late replays of
+	// the lost range — including the snapshot's slot — are duplicates.
+	_ = a.OnDatagram(mkPacket(6))
 	_ = a.OnDatagram(mkPacket(5))
 	_ = a.OnDatagram(mkPacket(3))
-	if last := c.seqs[len(c.seqs)-1]; last != 5 {
+	if last := c.seqs[len(c.seqs)-1]; last != 6 {
 		t.Fatalf("delivered %v", c.seqs)
 	}
-	if s := a.Stats(); s.Duplicates != 1 {
+	if s := a.Stats(); s.Duplicates != 2 {
 		t.Fatalf("stats %+v", s)
 	}
 }

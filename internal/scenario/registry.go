@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"lighttrader/internal/feed"
+)
+
+// The registry maps scenario names (the -scenario flag vocabulary, same
+// rule as the scheduler registry) to scripts. Scripts are data: callers can
+// also assemble their own and pass them to New.
+
+func standardInstrument() Instrument {
+	return Instrument{SecurityID: 1, Symbol: "ESU6", MidPrice: 450000, DepthPerLevel: 50}
+}
+
+func multiInstruments() []Instrument {
+	return []Instrument{
+		standardInstrument(),
+		{SecurityID: 2, Symbol: "NQU6", MidPrice: 1500000, DepthPerLevel: 50},
+		{SecurityID: 3, Symbol: "YMU6", MidPrice: 350000, DepthPerLevel: 50},
+	}
+}
+
+// calmArrivals is the steady-state Hawkes regime (~420 ev/s) shared by the
+// quiet stretches of every scenario.
+func calmArrivals() ArrivalSpec {
+	return ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 250, Alpha: 2000, Beta: 5000}}}
+}
+
+var scripts = map[string]func() Script{
+	// quiet: a whole session of routine two-sided drift — the control cell
+	// of the chaos matrix.
+	"quiet": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "drift", DurationSecs: 8, Arrivals: calmArrivals()},
+			},
+		}
+	},
+
+	// opening: thin pre-open quoting, then the auction uncross burst, then
+	// settling back to steady state.
+	"opening": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "pre-open", DurationSecs: 2, Arrivals: ArrivalSpec{RateHz: 50},
+					Flow: func() FlowSpec { f := DefaultFlow(); f.MarketOrderProb = 0.02; return f }()},
+				{Name: "auction-burst", DurationSecs: 1,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 1200, Alpha: 4500, Beta: 6000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.MarketOrderProb = 0.25; f.CrossProb = 0.25; return f }()},
+				{Name: "settle", DurationSecs: 3,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 400, Alpha: 2000, Beta: 5000}}}},
+			},
+		}
+	},
+
+	// flash-crash: calm, then a sub-second one-sided sweep cascade
+	// (§II-C's disruption), then a snapshot-led recovery bid.
+	"flash-crash": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "calm", DurationSecs: 3, Arrivals: calmArrivals()},
+				{Name: "crash", DurationSecs: 0.4, Arrivals: ArrivalSpec{RateHz: 15000},
+					SweepOnEnter: 4,
+					Flow: FlowSpec{MarketOrderProb: 0.30, CancelProb: 0.20, ReplaceProb: 0.05,
+						SweepProb: 0.08, SweepLevels: 3, Bias: -0.85, CrossProb: 0.30,
+						MaxOffset: 10, QtyMax: 8}},
+				{Name: "recovery", DurationSecs: 3, SnapshotOnEnter: true,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 600, Alpha: 2500, Beta: 5000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.Bias = 0.3; return f }()},
+			},
+		}
+	},
+
+	// halt-resume: a volatility spike trips the halt; the venue keeps
+	// matching silently (sequence advances, nothing published), reopens
+	// without recovery help, then broadcasts the healing snapshot.
+	"halt-resume": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "calm", DurationSecs: 2, Arrivals: calmArrivals()},
+				{Name: "spike", DurationSecs: 0.3, Arrivals: ArrivalSpec{RateHz: 4000},
+					Flow: func() FlowSpec { f := DefaultFlow(); f.MarketOrderProb = 0.25; f.Bias = -0.5; return f }()},
+				{Name: "halt", DurationSecs: 1.2, Arrivals: ArrivalSpec{RateHz: 400}, Withhold: true},
+				{Name: "reopen", DurationSecs: 0.8, Arrivals: ArrivalSpec{RateHz: 2500}},
+				{Name: "recovered", DurationSecs: 3, SnapshotOnEnter: true, Arrivals: calmArrivals()},
+			},
+		}
+	},
+
+	// thin-book: liquidity evaporates in a cancel storm and flow keeps
+	// hitting what little remains before quoting refills the ladder.
+	"thin-book": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "calm", DurationSecs: 2, Arrivals: calmArrivals()},
+				{Name: "drain", DurationSecs: 2, EvaporateOnEnter: 0.9,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 500, Alpha: 2500, Beta: 5000}}},
+					Flow: FlowSpec{MarketOrderProb: 0.20, CancelProb: 0.55, ReplaceProb: 0.05,
+						CrossProb: 0.05, MaxOffset: 10, QtyMax: 8}},
+				{Name: "refill", DurationSecs: 2.5,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 400, Alpha: 2000, Beta: 5000}}},
+					Flow: FlowSpec{MarketOrderProb: 0.03, CancelProb: 0.10, ReplaceProb: 0.10,
+						CrossProb: 0.02, MaxOffset: 10, QtyMax: 8}},
+			},
+		}
+	},
+
+	// multi-shock: three index-linked books gap together — every shock
+	// event applies to all instruments in lock step.
+	"multi-shock": func() Script {
+		return Script{
+			Instruments: multiInstruments(),
+			Phases: []Phase{
+				{Name: "calm", DurationSecs: 2, Arrivals: calmArrivals()},
+				{Name: "shock", DurationSecs: 0.35, Correlated: true,
+					Arrivals:     ArrivalSpec{RateHz: 6000},
+					SweepOnEnter: 3,
+					Flow: FlowSpec{MarketOrderProb: 0.30, CancelProb: 0.15, ReplaceProb: 0.05,
+						SweepProb: 0.12, SweepLevels: 3, Bias: -0.9, CrossProb: 0.30,
+						MaxOffset: 10, QtyMax: 8}},
+				{Name: "rebound", DurationSecs: 2.5, SnapshotOnEnter: true,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 500, Alpha: 2200, Beta: 5000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.Bias = 0.4; return f }()},
+			},
+		}
+	},
+
+	// trading-day: the composed session — open burst, quiet tape, flash
+	// crash, recovery, halt, reopen, afternoon drift, closing burst.
+	"trading-day": func() Script {
+		return Script{
+			Instruments: []Instrument{standardInstrument()},
+			Phases: []Phase{
+				{Name: "open-burst", DurationSecs: 1,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 1000, Alpha: 4000, Beta: 6000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.MarketOrderProb = 0.22; return f }()},
+				{Name: "morning", DurationSecs: 3, Arrivals: calmArrivals()},
+				{Name: "flash-crash", DurationSecs: 0.3, Arrivals: ArrivalSpec{RateHz: 12000},
+					SweepOnEnter: 4,
+					Flow: FlowSpec{MarketOrderProb: 0.30, CancelProb: 0.20, ReplaceProb: 0.05,
+						SweepProb: 0.08, SweepLevels: 3, Bias: -0.85, CrossProb: 0.30,
+						MaxOffset: 10, QtyMax: 8}},
+				{Name: "recovery", DurationSecs: 2, SnapshotOnEnter: true,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 600, Alpha: 2500, Beta: 5000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.Bias = 0.3; return f }()},
+				{Name: "halt", DurationSecs: 1, Arrivals: ArrivalSpec{RateHz: 300}, Withhold: true},
+				{Name: "reopen", DurationSecs: 0.5, Arrivals: ArrivalSpec{RateHz: 2000}},
+				{Name: "afternoon", DurationSecs: 3, SnapshotOnEnter: true, Arrivals: calmArrivals()},
+				{Name: "close-burst", DurationSecs: 1,
+					Arrivals: ArrivalSpec{Hawkes: []feed.HawkesParams{{Mu: 900, Alpha: 3500, Beta: 6000}}},
+					Flow:     func() FlowSpec { f := DefaultFlow(); f.MarketOrderProb = 0.20; return f }()},
+			},
+		}
+	},
+}
+
+// ByName builds the named scenario with the given seed. Unknown names list
+// the vocabulary, mirroring sched.ByName.
+func ByName(name string, seed int64) (*Source, error) {
+	mk, ok := scripts[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return New(name, mk(), seed)
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(scripts))
+	for name := range scripts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,304 @@
+package scenario
+
+// The scripted world generator: a multi-instrument matching engine driven
+// phase by phase. Every published packet becomes one Tick; withheld phases
+// keep mutating books (and advancing the channel sequence) while publishing
+// nothing, which is how a trading halt manifests to subscribers — silence,
+// then an unbridgeable sequence gap that only the reopen snapshot heals.
+
+import (
+	"math/rand"
+
+	"lighttrader/internal/exchange"
+	"lighttrader/internal/feed"
+	"lighttrader/internal/lob"
+)
+
+// backstopOffset places untouchable deep liquidity far from mid so sweeps
+// and evaporation can never fully empty a side (a truly empty book would
+// reject market flow and stall the scenario).
+const backstopOffset = int64(lob.DepthLevels + 40)
+
+// backstopQty is effectively infinite relative to scenario flow.
+const backstopQty = int64(1) << 20
+
+// phaseSalt derives per-phase arrival seeds so phases are independent
+// draws of one seeded experiment.
+func phaseSalt(i int) int64 { return int64(i+1) * 104729 }
+
+// worldgen holds the generation state for one scripted run.
+type worldgen struct {
+	script Script
+	rng    *rand.Rand
+	eng    *exchange.Engine
+	books  map[int32]*lob.Book
+	live   map[int32][]uint64
+
+	now      int64
+	nextID   uint64
+	withhold bool
+	withheld int
+	packets  [][]byte
+}
+
+// generateScript materialises a script into its tick stream and spans.
+func generateScript(script Script, seed int64) ([]feed.Tick, []PhaseSpan) {
+	g := &worldgen{
+		script: script,
+		rng:    rand.New(rand.NewSource(seed)),
+		books:  make(map[int32]*lob.Book, len(script.Instruments)),
+		live:   make(map[int32][]uint64, len(script.Instruments)),
+	}
+	g.eng = exchange.New(func() int64 { return g.now }, func(buf []byte) {
+		if g.withhold {
+			g.withheld++
+			return
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		g.packets = append(g.packets, cp)
+	})
+	for _, ins := range script.Instruments {
+		g.eng.ListSecurity(ins.SecurityID, ins.Symbol)
+		g.books[ins.SecurityID], _ = g.eng.Book(ins.SecurityID)
+	}
+	g.seedBooks()
+
+	var ticks []feed.Tick
+	spans := make([]PhaseSpan, 0, len(script.Phases))
+	var cursor int64
+	for pi, ph := range script.Phases {
+		start := cursor
+		end := start + int64(ph.DurationSecs*1e9)
+		cursor = end
+		span := PhaseSpan{Name: ph.Name, StartNanos: start, EndNanos: end, FirstTick: len(ticks)}
+		withheldBefore := g.withheld
+
+		g.withhold = ph.Withhold
+		g.now = start
+		ticks = g.enterPhase(ph, ticks)
+
+		flow := ph.Flow
+		if flow == (FlowSpec{}) {
+			flow = DefaultFlow()
+		}
+		proc := ph.Arrivals.process(seed + phaseSalt(pi))
+		for {
+			t := start + proc.NextNanos()
+			if t >= end {
+				break
+			}
+			g.now = t
+			if ph.Correlated {
+				for _, ins := range script.Instruments {
+					ticks = g.step(ins.SecurityID, flow, ticks)
+				}
+			} else {
+				ticks = g.step(g.pickInstrument(), flow, ticks)
+			}
+		}
+		g.withhold = false
+
+		span.Ticks = len(ticks) - span.FirstTick
+		span.Withheld = g.withheld - withheldBefore
+		spans = append(spans, span)
+	}
+	return ticks, spans
+}
+
+// seedBooks places the visible opening depth plus the deep backstop; the
+// seeding is not part of the published stream.
+func (g *worldgen) seedBooks() {
+	for _, ins := range g.script.Instruments {
+		depth := ins.DepthPerLevel
+		if depth <= 0 {
+			depth = 50
+		}
+		for lvl := int64(1); lvl <= lob.DepthLevels; lvl++ {
+			g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: ins.SecurityID,
+				ClOrdID: g.id(), Side: lob.Bid, Price: ins.MidPrice - lvl, Qty: depth})
+			g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: ins.SecurityID,
+				ClOrdID: g.id(), Side: lob.Ask, Price: ins.MidPrice + lvl, Qty: depth})
+		}
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: ins.SecurityID,
+			ClOrdID: g.id(), Side: lob.Bid, Price: ins.MidPrice - backstopOffset, Qty: backstopQty})
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: ins.SecurityID,
+			ClOrdID: g.id(), Side: lob.Ask, Price: ins.MidPrice + backstopOffset, Qty: backstopQty})
+	}
+	g.packets = g.packets[:0]
+	g.withheld = 0
+}
+
+// enterPhase fires the phase-boundary actions: the reopen snapshot first
+// (recovery precedes new flow), then the liquidity drain, then the opening
+// sweep dominoes.
+func (g *worldgen) enterPhase(ph Phase, ticks []feed.Tick) []feed.Tick {
+	if ph.SnapshotOnEnter {
+		for _, ins := range g.script.Instruments {
+			_ = g.eng.PublishSnapshot(ins.SecurityID)
+			ticks = g.flush(ins.SecurityID, ticks)
+		}
+	}
+	if ph.EvaporateOnEnter > 0 {
+		for _, ins := range g.script.Instruments {
+			ticks = g.evaporate(ins.SecurityID, ph.EvaporateOnEnter, ticks)
+		}
+	}
+	if ph.SweepOnEnter > 0 {
+		for _, ins := range g.script.Instruments {
+			ticks = g.sweep(ins.SecurityID, ph.SweepOnEnter, ph.Flow.Bias, ticks)
+		}
+	}
+	return ticks
+}
+
+// pickInstrument draws the event's instrument. Single-instrument scripts
+// consume no randomness here, so adding instruments never perturbs an
+// existing single-symbol scenario's flow sequence.
+func (g *worldgen) pickInstrument() int32 {
+	if len(g.script.Instruments) == 1 {
+		return g.script.Instruments[0].SecurityID
+	}
+	return g.script.Instruments[g.rng.Intn(len(g.script.Instruments))].SecurityID
+}
+
+// step performs one flow action on one instrument and flushes any published
+// packets into the tick stream.
+func (g *worldgen) step(sec int32, f FlowSpec, ticks []feed.Tick) []feed.Tick {
+	r := g.rng.Float64()
+	live := g.live[sec]
+	switch {
+	case r < f.SweepProb:
+		return g.sweep(sec, f.SweepLevels, f.Bias, ticks)
+	case r < f.SweepProb+f.MarketOrderProb:
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: sec,
+			ClOrdID: g.id(), Side: g.pickSide(f.Bias), Type: exchange.Market,
+			Qty: int64(1 + g.rng.Intn(max(1, f.QtyMax)))})
+	case r < f.SweepProb+f.MarketOrderProb+f.CancelProb && len(live) > 0:
+		idx := g.rng.Intn(len(live))
+		id := live[idx]
+		g.live[sec] = append(live[:idx], live[idx+1:]...)
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqCancel, SecurityID: sec, ClOrdID: id})
+	case r < f.SweepProb+f.MarketOrderProb+f.CancelProb+f.ReplaceProb && len(live) > 0:
+		idx := g.rng.Intn(len(live))
+		id := live[idx]
+		g.live[sec] = append(live[:idx], live[idx+1:]...)
+		side := lob.Bid
+		if o, ok := g.books[sec].Order(id); ok {
+			side = o.Side
+		}
+		newID := g.id()
+		reps := g.eng.Submit(exchange.Request{Kind: exchange.ReqReplace, SecurityID: sec,
+			ClOrdID: id, NewClOrdID: newID, Side: side, Price: g.limitPrice(sec, side, f),
+			Qty: int64(1 + g.rng.Intn(max(1, f.QtyMax)))})
+		if reps[0].Exec == exchange.ExecReplaced {
+			if _, resting := g.books[sec].Order(newID); resting {
+				g.live[sec] = append(g.live[sec], newID)
+			}
+		}
+	default:
+		side := g.pickSide(f.Bias)
+		id := g.id()
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: sec,
+			ClOrdID: id, Side: side, Price: g.limitPrice(sec, side, f),
+			Qty: int64(1 + g.rng.Intn(max(1, f.QtyMax)))})
+		if _, resting := g.books[sec].Order(id); resting {
+			g.live[sec] = append(g.live[sec], id)
+		}
+	}
+	return g.flush(sec, ticks)
+}
+
+// sweep submits a marketable order sized to consume the top `levels` of the
+// opposite side in one event — the cascade primitive of a flash crash.
+func (g *worldgen) sweep(sec int32, levels int, bias float64, ticks []feed.Tick) []feed.Tick {
+	if levels <= 0 {
+		levels = DefaultFlow().SweepLevels
+	}
+	side := g.pickSide(bias)
+	opp := g.books[sec].Levels(side.Opposite(), min(levels, lob.DepthLevels))
+	var qty int64
+	for _, lvl := range opp {
+		qty += lvl.Qty
+	}
+	if qty == 0 {
+		return ticks
+	}
+	g.eng.Submit(exchange.Request{Kind: exchange.ReqNew, SecurityID: sec,
+		ClOrdID: g.id(), Side: side, Type: exchange.Market, Qty: qty})
+	return g.flush(sec, ticks)
+}
+
+// evaporate cancels a fraction of the instrument's tracked resting orders —
+// liquidity evaporation as the cancel storm subscribers actually see.
+func (g *worldgen) evaporate(sec int32, frac float64, ticks []feed.Tick) []feed.Tick {
+	live := g.live[sec]
+	n := int(frac * float64(len(live)))
+	for i := 0; i < n && len(live) > 0; i++ {
+		idx := g.rng.Intn(len(live))
+		id := live[idx]
+		live = append(live[:idx], live[idx+1:]...)
+		g.eng.Submit(exchange.Request{Kind: exchange.ReqCancel, SecurityID: sec, ClOrdID: id})
+		ticks = g.flush(sec, ticks)
+	}
+	g.live[sec] = live
+	return ticks
+}
+
+// pickSide draws the aggressor side under directional bias.
+func (g *worldgen) pickSide(bias float64) lob.Side {
+	if g.rng.Float64() < 0.5*(1+bias) {
+		return lob.Bid
+	}
+	return lob.Ask
+}
+
+// limitPrice draws a passive price near mid, crossing with CrossProb.
+func (g *worldgen) limitPrice(sec int32, side lob.Side, f FlowSpec) int64 {
+	mid := g.mid(sec)
+	maxOff := f.MaxOffset
+	if maxOff <= 0 {
+		maxOff = DefaultFlow().MaxOffset
+	}
+	off := 1 + g.rng.Int63n(maxOff)
+	if g.rng.Float64() < f.CrossProb {
+		off = -off
+	}
+	if side == lob.Bid {
+		return mid - off
+	}
+	return mid + off
+}
+
+// mid returns the instrument's current midpoint, falling back to its
+// configured opening mid.
+func (g *worldgen) mid(sec int32) int64 {
+	if m, ok := g.books[sec].Mid(); ok {
+		return int64(m)
+	}
+	for _, ins := range g.script.Instruments {
+		if ins.SecurityID == sec {
+			return ins.MidPrice
+		}
+	}
+	return 0
+}
+
+// flush drains published packets into the tick stream, stamping each with
+// the touched instrument's post-event snapshot.
+func (g *worldgen) flush(sec int32, ticks []feed.Tick) []feed.Tick {
+	for _, pkt := range g.packets {
+		ticks = append(ticks, feed.Tick{
+			TimeNanos: g.now,
+			Packet:    pkt,
+			Snapshot:  g.books[sec].TakeSnapshot(g.now),
+		})
+	}
+	g.packets = g.packets[:0]
+	return ticks
+}
+
+func (g *worldgen) id() uint64 {
+	g.nextID++
+	return g.nextID
+}

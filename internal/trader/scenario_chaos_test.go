@@ -1,0 +1,261 @@
+package trader_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"lighttrader/internal/core"
+	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
+	"lighttrader/internal/offload"
+	"lighttrader/internal/scenario"
+	"lighttrader/internal/testutil"
+	"lighttrader/internal/trader"
+	"lighttrader/internal/trading"
+	"lighttrader/internal/venue"
+)
+
+// The scenario-driven regression tests for the trader's degraded-mode order
+// gating: the flash-crash and halt/resume byte streams (the same ones the
+// bench matrix and the serving runtime replay) are fed straight into
+// Trader.OnDatagram, and the gate must suppress orders exactly while
+// degraded and release them after recovery.
+
+// scenarioSpan finds a named phase in the source's span list.
+func scenarioSpan(t *testing.T, src *scenario.Source, name string) scenario.PhaseSpan {
+	t.Helper()
+	for _, sp := range src.PhaseSpans() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("scenario %s has no phase %q", src.Name(), name)
+	return scenario.PhaseSpan{}
+}
+
+// feedSpan pushes one phase's packets through the trader.
+func feedSpan(t *testing.T, tr *trader.Trader, packets [][]byte, sp scenario.PhaseSpan) {
+	t.Helper()
+	for i := sp.FirstTick; i < sp.FirstTick+sp.Ticks; i++ {
+		if err := tr.OnDatagram(packets[i]); err != nil {
+			t.Fatalf("phase %s packet %d: %v", sp.Name, i, err)
+		}
+	}
+}
+
+// newScenarioPipeline builds a real tick-to-trade pipeline for the
+// scenario's standard instrument, calibrated on the scenario's own opening
+// tape. Position limits are lifted: the tests deliberately leave intents
+// unacked while the gate is closed, and bounded exposure would otherwise
+// starve the post-recovery assertions.
+func newScenarioPipeline(t *testing.T, src *scenario.Source) *core.Pipeline {
+	t.Helper()
+	ins := src.Script().Instruments[0]
+	ticks := src.Ticks()
+	n := len(ticks)
+	if n > 300 {
+		n = 300
+	}
+	snaps := make([]lob.Snapshot, n)
+	for i := 0; i < n; i++ {
+		snaps[i] = ticks[i].Snapshot
+	}
+	tcfg := trading.DefaultConfig(ins.SecurityID)
+	tcfg.MinConfidence = 0.2 // untrained CNN hovers near uniform; let it trade
+	tcfg.MaxPosition = 1 << 30
+	p, err := core.NewPipeline(ins.Symbol, ins.SecurityID, nn.NewSizedCNN("scn-chaos", 4, 0),
+		offload.Calibrate(snaps), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// newScenarioVenue starts an order-entry venue for the scenario instrument.
+// Its market-data feed goes to a throwaway socket: the trader's feed in
+// these tests is the scenario byte stream itself.
+func newScenarioVenue(t *testing.T, ctx context.Context, ins scenario.Instrument) (*venue.Server, func()) {
+	t.Helper()
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := venue.NewServer(venue.ServerConfig{
+		OrderAddr:  "127.0.0.1:0",
+		FeedAddr:   sink.LocalAddr().String(),
+		SecurityID: ins.SecurityID,
+		Symbol:     ins.Symbol,
+		MidPrice:   ins.MidPrice,
+		Depth:      100,
+	})
+	if err != nil {
+		sink.Close()
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Run(ctx) }()
+	return srv, func() { <-done; sink.Close() }
+}
+
+// TestScenarioFlashCrashGatesOrdersUntilReady replays the flash-crash
+// scenario into a trader whose order-entry session is down. Every order
+// intent through the calm tape and the crash itself must be suppressed by
+// the degraded-mode gate; once the session establishes, the recovery tape
+// must route orders again and the book mirror must match the scenario's
+// final book exactly.
+func TestScenarioFlashCrashGatesOrdersUntilReady(t *testing.T) {
+	leak := testutil.StartLeakCheck()
+	src, err := scenario.ByName("flash-crash", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := src.Packets()
+	ticks := src.Ticks()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, srvCleanup := newScenarioVenue(t, ctx, src.Script().Instruments[0])
+	_ = srv
+
+	tr := trader.New(trader.Config{
+		OrderAddr:       srv.OrderAddr().String(),
+		UUID:            0xCAFE11,
+		KeepAliveMillis: 200,
+		BackoffSeed:     1,
+	}, newScenarioPipeline(t, src), 8)
+
+	// Session down: the whole pre-crash and crash tape rides the gate.
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "calm"))
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "crash"))
+
+	stats := tr.FeedStats()
+	if stats.OrdersRouted != 0 {
+		t.Fatalf("routed %d orders with the session down", stats.OrdersRouted)
+	}
+	if stats.Suppressed == 0 {
+		t.Fatal("vacuous gate test: the crash tape generated no order intents")
+	}
+	if tr.Recovering() {
+		t.Fatal("in-order scenario stream should never trip feed recovery")
+	}
+
+	// Session up: the recovery tape must trade again.
+	clientDone := make(chan struct{})
+	go func() { defer close(clientDone); _ = tr.Client().Run(ctx) }()
+	readyCtx, readyCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := tr.Client().WaitReady(readyCtx); err != nil {
+		t.Fatalf("session never established: %v", err)
+	}
+	readyCancel()
+
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "recovery"))
+	after := tr.FeedStats()
+	if after.OrdersRouted == 0 {
+		t.Fatalf("no orders routed after the session recovered: %+v", after)
+	}
+
+	// The mirror tracked the whole scenario; it must land on the final book.
+	final := ticks[len(ticks)-1].Snapshot
+	if !booksMatch(final, tr.Book()) {
+		t.Fatalf("book mirror diverged from the scenario's final book\nvenue %+v\nlocal %+v",
+			final, tr.Book())
+	}
+	t.Logf("flash-crash gate: %d suppressed while down, %d routed after recovery",
+		after.Suppressed, after.OrdersRouted)
+
+	cancel()
+	<-clientDone
+	srvCleanup()
+	leak.Verify(t, 5*time.Second)
+}
+
+// TestScenarioHaltResumeFreezesThenRecovers replays the halt/resume
+// scenario through a live trading loop. The halt's withheld packets leave a
+// sequence hole; the reopen tape must trip gap detection (orders freeze
+// while the feed recovers) and the reopen snapshot must heal the stream and
+// release the gate.
+func TestScenarioHaltResumeFreezesThenRecovers(t *testing.T) {
+	leak := testutil.StartLeakCheck()
+	src, err := scenario.ByName("halt-resume", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := src.Packets()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, srvCleanup := newScenarioVenue(t, ctx, src.Script().Instruments[0])
+
+	tr := trader.New(trader.Config{
+		OrderAddr:       srv.OrderAddr().String(),
+		UUID:            0xCAFE12,
+		KeepAliveMillis: 200,
+		BackoffSeed:     2,
+	}, newScenarioPipeline(t, src), 8)
+
+	clientDone := make(chan struct{})
+	go func() { defer close(clientDone); _ = tr.Client().Run(ctx) }()
+	readyCtx, readyCancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := tr.Client().WaitReady(readyCtx); err != nil {
+		t.Fatalf("session never established: %v", err)
+	}
+	readyCancel()
+
+	// Healthy tape: orders flow.
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "calm"))
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "spike"))
+	preHalt := tr.FeedStats()
+	if preHalt.OrdersRouted == 0 {
+		t.Fatal("vacuous halt test: no orders routed before the halt")
+	}
+	if tr.Recovering() {
+		t.Fatal("feed recovering before the halt")
+	}
+
+	// The halt publishes nothing; its packets exist only as a sequence hole.
+	halt := scenarioSpan(t, src, "halt")
+	if halt.Ticks != 0 || halt.Withheld == 0 {
+		t.Fatalf("halt span published %d ticks, withheld %d; want 0 and >0", halt.Ticks, halt.Withheld)
+	}
+
+	// The reopen tape arrives across the hole: gap detection must trip and
+	// the gate must freeze orders while the feed recovers.
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "reopen"))
+	duringReopen := tr.FeedStats()
+	if !tr.Recovering() {
+		t.Fatal("sequence hole from the halt never tripped gap detection")
+	}
+	if duringReopen.OrdersRouted != preHalt.OrdersRouted {
+		t.Fatalf("orders routed while recovering: %d -> %d",
+			preHalt.OrdersRouted, duringReopen.OrdersRouted)
+	}
+	if duringReopen.Datagrams <= preHalt.Datagrams {
+		t.Fatal("reopen tape was never ingested")
+	}
+	if astats := tr.ArbiterStats(); astats.Gaps == 0 {
+		t.Fatalf("no gap declared: %+v", astats)
+	}
+
+	// The recovered phase opens with the venue's snapshot: the stream heals
+	// and orders flow again.
+	feedSpan(t, tr, packets, scenarioSpan(t, src, "recovered"))
+	after := tr.FeedStats()
+	astats := tr.ArbiterStats()
+	if tr.Recovering() {
+		t.Fatalf("snapshot never healed the stream: %+v", astats)
+	}
+	if astats.Recoveries == 0 {
+		t.Fatalf("no snapshot recovery recorded: %+v", astats)
+	}
+	if after.OrdersRouted <= duringReopen.OrdersRouted {
+		t.Fatalf("orders never resumed after the snapshot: %d -> %d",
+			duringReopen.OrdersRouted, after.OrdersRouted)
+	}
+	t.Logf("halt/resume: %d routed pre-halt, frozen through reopen, %d after recovery (arbiter %+v)",
+		preHalt.OrdersRouted, after.OrdersRouted, astats)
+
+	cancel()
+	<-clientDone
+	srvCleanup()
+	leak.Verify(t, 5*time.Second)
+}

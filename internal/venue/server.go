@@ -57,10 +57,12 @@ type Server struct {
 	feedDstB net.Addr
 
 	// reqCh serialises all engine access onto the run goroutine; snapCh and
-	// noiseCh ride the same goroutine for book reads and noise control.
+	// noiseCh ride the same goroutine for book reads and noise control;
+	// rawCh carries pre-encoded packets for scenario replay.
 	reqCh   chan serverReq
 	snapCh  chan chan lob.Snapshot
 	noiseCh chan bool
+	rawCh   chan rawPublish
 
 	mu     sync.Mutex
 	closed bool
@@ -69,6 +71,11 @@ type Server struct {
 type serverReq struct {
 	req   exchange.Request
 	reply chan []exchange.ExecReport
+}
+
+type rawPublish struct {
+	buf  []byte
+	done chan error
 }
 
 // NewServer binds the listener and feed socket; call Run to serve.
@@ -110,6 +117,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		reqCh:    make(chan serverReq, 64),
 		snapCh:   make(chan chan lob.Snapshot),
 		noiseCh:  make(chan bool),
+		rawCh:    make(chan rawPublish),
 	}, nil
 }
 
@@ -125,6 +133,21 @@ func (s *Server) Snapshot() (lob.Snapshot, bool) {
 		return <-reply, true
 	case <-time.After(2 * time.Second):
 		return lob.Snapshot{}, false
+	}
+}
+
+// PublishRaw sends a pre-encoded market-data packet on the feed channel(s),
+// serialised through the run goroutine so replayed packets interleave with
+// engine-published ones in a single channel order. It is the venue leg of
+// scenario replay: feeding scenario.Source.Packets() through here puts the
+// exact scenario bytes on the wire. The buffer is not retained.
+func (s *Server) PublishRaw(buf []byte) error {
+	done := make(chan error, 1)
+	select {
+	case s.rawCh <- rawPublish{buf: buf, done: done}:
+		return <-done
+	case <-time.After(2 * time.Second):
+		return errors.New("exchange: server not running")
 	}
 }
 
@@ -175,6 +198,12 @@ func (s *Server) Run(ctx context.Context) error {
 			return ctx.Err()
 		case r := <-s.reqCh:
 			r.reply <- eng.Submit(r.req)
+		case raw := <-s.rawCh:
+			_, err := s.feedConn.WriteTo(raw.buf, s.feedDst)
+			if err == nil && s.feedDstB != nil {
+				_, err = s.feedConn.WriteTo(raw.buf, s.feedDstB)
+			}
+			raw.done <- err
 		case reply := <-s.snapCh:
 			var snap lob.Snapshot
 			if book, ok := eng.Book(s.cfg.SecurityID); ok {

@@ -13,6 +13,7 @@ import (
 
 	"lighttrader/internal/cgra"
 	"lighttrader/internal/core"
+	"lighttrader/internal/scenario"
 	"lighttrader/internal/sched"
 	"lighttrader/internal/serve"
 	"lighttrader/internal/signal"
@@ -54,6 +55,50 @@ func SchedulerByName(name string) (SchedulerFactory, error) { return sched.Facto
 
 // SchedulerNames returns the registered scheduling policy names, sorted.
 func SchedulerNames() []string { return sched.SchedulerNames() }
+
+// Scenario is the unified traffic source: a seeded, deterministic generator
+// of composable market regimes emitting real SBE packet streams. One
+// Scenario drives every deployment target byte-identically — the back-test
+// simulator via BacktestContext(WithScenario(...)), the serving runtime via
+// ReplayScenario, and a live venue via its raw Packets().
+type Scenario = scenario.Source
+
+// ScenarioScript is a scenario's phase program: the listed market plus the
+// timed regime sequence (see NewScenario for custom scripts).
+type ScenarioScript = scenario.Script
+
+// ScenarioPhase is one timed regime of a scenario day.
+type ScenarioPhase = scenario.Phase
+
+// ScenarioByName resolves a registered scenario name ("quiet", "opening",
+// "flash-crash", "halt-resume", "thin-book", "multi-shock", "trading-day")
+// to a seeded source — the -scenario flag vocabulary, same rule as
+// SchedulerByName.
+func ScenarioByName(name string, seed int64) (*Scenario, error) {
+	return scenario.ByName(name, seed)
+}
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// NewScenario builds a source from a custom phase script.
+func NewScenario(name string, script ScenarioScript, seed int64) (*Scenario, error) {
+	return scenario.New(name, script, seed)
+}
+
+// ReplayScenario replays a scenario's byte stream through a serving
+// runtime at its recorded arrival times and drains the lanes: the serving
+// analogue of BacktestContext(WithScenario(...)). The caller reads the
+// outcome from Server.Stats().
+func ReplayScenario(srv *Server, src *Scenario) error {
+	for _, tk := range src.Ticks() {
+		if err := srv.Submit(tk.TimeNanos, tk.Packet); err != nil {
+			return err
+		}
+	}
+	srv.Drain()
+	return nil
+}
 
 // Precision selects the accelerator execution data type.
 type Precision = cgra.Precision
@@ -148,6 +193,7 @@ type config struct {
 	sink          OrderSink
 	clock         func() int64
 	signals       *SignalGateway
+	scenario      *Scenario
 }
 
 // Option configures New, NewServer or BacktestContext. Options that do not
@@ -257,6 +303,12 @@ func WithOrderSink(sink OrderSink) Option { return func(c *config) { c.sink = si
 // deterministic arrival-driven logical clock). Serving only.
 func WithClock(clock func() int64) Option { return func(c *config) { c.clock = clock } }
 
+// WithScenario selects a scenario as the run's traffic source. In
+// BacktestContext it replaces the ticks argument (pass nil ticks); resolve
+// named scenarios with ScenarioByName or build custom scripts with
+// NewScenario.
+func WithScenario(src *Scenario) Option { return func(c *config) { c.scenario = src } }
+
 // WithSignalGateway attaches a signal-distribution gateway to the serving
 // runtime: every subscription's inference results are published to the
 // gateway's conflated per-symbol streams, consumable in-process via
@@ -327,9 +379,14 @@ func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 // BacktestContext is Backtest under a context: cancellation stops the
 // replay at the next arrival boundary and returns metrics over the
 // truncated prefix — every counted query is fully accounted, none are torn.
-// WithProbe attaches an observer; other options are ignored.
+// WithProbe attaches an observer; WithScenario substitutes a scenario's
+// stream for the ticks argument (pass nil ticks); other options are
+// ignored.
 func BacktestContext(ctx context.Context, ticks []Tick, tAvail time.Duration, sys System, opts ...Option) Metrics {
 	cfg := resolve(opts)
+	if ticks == nil && cfg.scenario != nil {
+		ticks = cfg.scenario.Ticks()
+	}
 	ro := []sim.RunOption{sim.WithContext(ctx)}
 	if cfg.probe != nil {
 		ro = append(ro, sim.WithProbe(cfg.probe))
