@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout bench-power bench-scenario sched-smoke fanout-smoke power-smoke scenario-smoke fuzz-smoke ci
+.PHONY: build test race vet fmt-check api-check api-update bench bench-all bench-smoke bench-tickpath bench-sched bench-fanout bench-power bench-scenario bench-frontier sched-smoke fanout-smoke power-smoke scenario-smoke frontier-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,14 @@ bench-power:
 bench-scenario:
 	$(GO) run ./cmd/ltbench -scenariojson BENCH_scenario.json -parallel 0
 
+# The inference-compute frontier: the model zoo trained on teacher-labelled
+# synthetic LOB windows and priced on the CGRA latency tables (accuracy ×
+# tick-to-trade latency × batch size), plus the flash-crash and opening
+# burst scenarios with degrade-to-cheaper-model switching on and off,
+# archived as JSON. See EXPERIMENTS.md.
+bench-frontier:
+	$(GO) run ./cmd/ltbench -frontierjson BENCH_frontier.json
+
 # The signal fan-out experiment: propagation percentiles and conflation
 # drops at 1k/10k/100k subscribers, the 1→8 shard sweep (modelled
 # throughput), and the faultnet chaos scenario, archived as JSON. See
@@ -115,6 +123,17 @@ scenario-smoke:
 		./internal/bench/
 	$(GO) test -run 'TestScenario' ./internal/trader/
 
+# Frontier smoke: the scaled-down inference-compute frontier (every zoo
+# variant trained and priced, Pareto monotonicity, burst recovery strictly
+# above the drop-only baseline with degrades accounted), the degrade-ladder
+# invariants property-checked across the whole scheduler registry, the
+# serve-side ladder admission/end-to-end/validation tests, and the
+# AllocsPerRun gate proving the lane-side model-switch path is 0 allocs/op.
+frontier-smoke:
+	$(GO) test -run 'TestFrontierSmoke' ./internal/bench/
+	$(GO) test -run 'TestQuickDegradeInvariants' ./internal/sched/
+	$(GO) test -run 'TestDegradeLadder|TestTierConfigValidation|TestModelSwitchPathNoAllocs' ./internal/serve/
+
 # Short fuzz runs over the wire-facing decoders — the surfaces an exchange
 # (or an attacker on the path) feeds directly. `go test -fuzz` takes exactly
 # one matching target per invocation, hence one line per fuzzer.
@@ -134,6 +153,8 @@ fuzz-smoke:
 # publish-hook allocation gate, the power-governor smoke (sim-vs-serve
 # differential, recovery claim, budget-safety race test), the scenario
 # smoke (chaos-matrix shape plus the three-way sim/serve/venue scenario
-# differential and the degraded-mode trader regressions), and a short fuzz
-# pass over the wire decoders.
-ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke power-smoke scenario-smoke fuzz-smoke
+# differential and the degraded-mode trader regressions), the frontier
+# smoke (zoo training/pricing, degrade-ladder invariants and the
+# model-switch allocation gate), and a short fuzz pass over the wire
+# decoders.
+ci: fmt-check vet build api-check race bench-smoke bench-tickpath sched-smoke fanout-smoke power-smoke scenario-smoke frontier-smoke fuzz-smoke

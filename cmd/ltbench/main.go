@@ -13,6 +13,7 @@
 //	ltbench -fanoutjson out.json # archive the signal fan-out rows as JSON
 //	ltbench -powerjson out.json  # archive the limited-power recovery sweep as JSON
 //	ltbench -scenariojson out.json # archive the scenario chaos matrix as JSON
+//	ltbench -frontierjson out.json # archive the inference-compute frontier as JSON
 //	ltbench -workers 4           # GEMM worker-pool width (0 = GOMAXPROCS)
 //	ltbench -blocksize 256       # GEMM k-panel cache block size
 //	ltbench -cpuprofile cpu.out  # write a CPU profile (go tool pprof)
@@ -49,6 +50,7 @@ func main() {
 	fanoutjson := flag.String("fanoutjson", "", "run the signal fan-out experiment and write its rows as JSON to this path")
 	powerjson := flag.String("powerjson", "", "run the limited-power recovery sweep and write its rows as JSON to this path")
 	scenariojson := flag.String("scenariojson", "", "run the scenario chaos matrix and write its rows as JSON to this path")
+	frontierjson := flag.String("frontierjson", "", "run the inference-compute frontier experiment and write its rows as JSON to this path")
 	workers := flag.Int("workers", 0, "GEMM worker-pool width for large multiplies (0 = GOMAXPROCS)")
 	blocksize := flag.Int("blocksize", tensor.BlockSize(), "GEMM k-panel cache block size (min 8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,7 +86,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *fanoutjson == "" && *powerjson == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *fanoutjson == "" && *powerjson == "" && *scenariojson == "" && *frontierjson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -94,7 +96,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fanoutjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *powerjson == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *powerjson == "" && *scenariojson == "" && *frontierjson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -104,7 +106,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "powerjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *trace == "" && *scenariojson == "" && strings.EqualFold(*exp, "all") {
+		if *trace == "" && *scenariojson == "" && *frontierjson == "" && strings.EqualFold(*exp, "all") {
 			return // archive run: don't also regenerate the whole suite
 		}
 	}
@@ -112,6 +114,16 @@ func main() {
 	if *scenariojson != "" {
 		if err := writeScenarioJSON(*scenariojson, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "scenariojson: %v\n", err)
+			os.Exit(1)
+		}
+		if *trace == "" && *frontierjson == "" && strings.EqualFold(*exp, "all") {
+			return // archive run: don't also regenerate the whole suite
+		}
+	}
+
+	if *frontierjson != "" {
+		if err := writeFrontierJSON(*frontierjson); err != nil {
+			fmt.Fprintf(os.Stderr, "frontierjson: %v\n", err)
 			os.Exit(1)
 		}
 		if *trace == "" && strings.EqualFold(*exp, "all") {
@@ -277,6 +289,27 @@ func writeScenarioJSON(path string, parallel int) error {
 	fmt.Print(bench.RenderScenarioMatrix(rows))
 	fmt.Printf("scenario matrix written to %s\n", path)
 	fmt.Printf("[scenario-matrix completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeFrontierJSON runs the inference-compute frontier experiment and
+// archives its report: zoo variants trained on teacher-labelled synthetic
+// LOB windows and priced on the CGRA latency tables, plus the burst-
+// scenario recovery sweep with the degrade ladder on and off. Trains the
+// zoo at its own archived scale, independent of -ticks/-tavail.
+func writeFrontierJSON(path string) error {
+	start := time.Now()
+	rep := bench.FrontierSweep(bench.DefaultFrontierConfig())
+	data, err := bench.FrontierJSON(rep)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFrontier(rep))
+	fmt.Printf("frontier report written to %s\n", path)
+	fmt.Printf("[frontier completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"lighttrader/internal/core"
 )
 
 // TestNewMatchesDeprecatedConstructor pins the migration contract: the
@@ -162,6 +164,86 @@ func TestPublicServing(t *testing.T) {
 		if !ok1 || !ok2 || ia.Bids != ib.Bids || ia.Asks != ib.Asks {
 			t.Fatalf("security %d books diverged at quiesce", id)
 		}
+	}
+}
+
+// TestModelZooFacade covers degrade-to-cheaper-model switching through the
+// facade: WithModelZoo wires a compiled ladder under the primary, a
+// deadline inside the degrade window turns drop-only losses into counted
+// degraded answers, a candidate no cheaper than the primary is rejected,
+// and WithModelDegradation's default ladder builds without a zoo.
+func TestModelZooFacade(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	trace := GenerateTrace(cfg, 160)
+	norm := CalibrateNormalizer(trace)
+	build := func() *MultiPipeline {
+		mp := NewMultiPipeline()
+		tcfg := DefaultTradingConfig(cfg.SecurityID)
+		if err := mp.Add(cfg.Symbol, cfg.SecurityID, NewVanillaCNN(), norm, tcfg); err != nil {
+			t.Fatal(err)
+		}
+		return mp
+	}
+
+	// The degrade window: a deadline the primary cannot meet at batch 1 but
+	// the tier can, computed from the same latency tables NewServer compiles.
+	primary, err := core.Configure(NewVanillaCNN(), 1, Sufficient, SchedulerOptions{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tierModel := MustBuildZoo(SizedCNNSpec("facade-tier", 8, 0))
+	tier, err := core.Configure(tierModel, 1, Sufficient, SchedulerOptions{WorkloadScheduling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryTT := primary.Sched.TotalNanos(primary.Sched.StaticDVFS, 1)
+	tierTT := tier.Sched.TotalNanos(tier.Sched.StaticDVFS, 1)
+	mid := time.Duration(primary.PrePipelineNanos + (primaryTT+tierTT)/2)
+
+	replay := func(opts ...Option) ServeStats {
+		srv, err := NewServer(build(), append([]Option{
+			WithInline(), WithModelledClock(), WithDeadline(mid),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tk := range trace {
+			if err := srv.Submit(int64(i)*int64(time.Millisecond), tk.Packet); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.Drain()
+		return srv.Stats()
+	}
+
+	baseline := replay(WithWorkloadScheduling())
+	ladder := replay(WithModelZoo(tierModel))
+
+	if baseline.DeferredDeadline == 0 {
+		t.Fatalf("baseline dropped nothing; the deadline window does not bite: %+v", baseline)
+	}
+	if ladder.Degrades == 0 || ladder.Served != ladder.Submitted || ladder.Dropped() != 0 {
+		t.Fatalf("ladder did not recover the window: %+v", ladder)
+	}
+	if ladder.ResponseRate <= baseline.ResponseRate {
+		t.Fatalf("ladder response %.3f not above drop-only %.3f", ladder.ResponseRate, baseline.ResponseRate)
+	}
+	if len(ladder.TierIssues) != 2 || ladder.TierIssues[1] != ladder.Degrades {
+		t.Fatalf("tier accounting inconsistent: issues %v, degrades %d", ladder.TierIssues, ladder.Degrades)
+	}
+
+	// A candidate no cheaper than the primary can never be a useful rung.
+	if _, err := NewServer(build(), WithInline(), WithDeadline(mid), WithModelZoo(NewVanillaCNN())); err == nil {
+		t.Fatal("zoo with no cheaper model accepted")
+	}
+
+	// WithModelDegradation falls back to the default two-rung CNN ladder.
+	srv, err := NewServer(build(), WithInline(), WithDeadline(mid), WithModelDegradation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Stats().TierIssues); got != 3 {
+		t.Fatalf("default ladder wired %d tiers, want 3 (primary + 2 rungs)", got)
 	}
 }
 

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+// smokeFrontierConfig shrinks the archived experiment to test scale: a
+// short trace and one epoch keep the CPU-side SGD cheap while every variant,
+// both recovery scenarios and the full report shape still execute.
+func smokeFrontierConfig() FrontierConfig {
+	fc := DefaultFrontierConfig()
+	fc.Ticks = 420
+	fc.Epochs = 1
+	fc.Restarts = 1
+	return fc
+}
+
+// TestFrontierSmoke runs the inference-compute frontier at test scale and
+// checks its shape and non-vacuity: at least five variants priced across
+// the batch axis, a non-degenerate Pareto frontier that is monotone in
+// (latency, accuracy), and a recovery sweep where the degrade ladder
+// strictly improves on the drop-only baseline without hiding the degrades.
+func TestFrontierSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the zoo; skipped in -short")
+	}
+	rep := FrontierSweep(smokeFrontierConfig())
+
+	if len(rep.Variants) < 5 {
+		t.Fatalf("frontier has %d variants, want ≥5", len(rep.Variants))
+	}
+	for _, v := range rep.Variants {
+		if v.Params <= 0 || v.FLOPs <= 0 {
+			t.Errorf("%s: params %d, flops %d", v.Name, v.Params, v.FLOPs)
+		}
+		if v.Accuracy < 0 || v.Accuracy > 1 {
+			t.Errorf("%s: accuracy %.3f outside [0,1]", v.Name, v.Accuracy)
+		}
+		if len(v.Latencies) != 3 {
+			t.Fatalf("%s: %d latency points, want 3", v.Name, len(v.Latencies))
+		}
+		for i, l := range v.Latencies {
+			if l.TotalNanos <= 0 || l.TickToTradeNanos <= l.TotalNanos {
+				t.Errorf("%s b=%d: total %d, tick-to-trade %d", v.Name, l.Batch, l.TotalNanos, l.TickToTradeNanos)
+			}
+			if i > 0 && l.TotalNanos <= v.Latencies[i-1].TotalNanos {
+				t.Errorf("%s: batch %d not costlier than batch %d", v.Name, l.Batch, v.Latencies[i-1].Batch)
+			}
+			if l.PerQueryNanos > l.TickToTradeNanos {
+				t.Errorf("%s b=%d: per-query %d exceeds whole-batch %d", v.Name, l.Batch, l.PerQueryNanos, l.TickToTradeNanos)
+			}
+		}
+	}
+	// Within the lookback ladder (the shared-width rungs), a longer lookback
+	// must cost strictly more on both axes the scheduler prices: FLOPs (more
+	// conv rows) and modelled batch-1 latency (the leading crop is fused into
+	// the device DMA, so fewer kept rows also means fewer transferred bytes).
+	var ladder []FrontierRow
+	for _, v := range rep.Variants {
+		if v.Width == 8 {
+			ladder = append(ladder, v)
+		}
+	}
+	sort.Slice(ladder, func(i, j int) bool { return ladder[i].Lookback < ladder[j].Lookback })
+	if len(ladder) < 5 {
+		t.Fatalf("lookback ladder has %d rungs, want ≥5", len(ladder))
+	}
+	for i := 1; i < len(ladder); i++ {
+		cur, prev := ladder[i], ladder[i-1]
+		if cur.Lookback <= prev.Lookback {
+			t.Fatalf("duplicate lookback in ladder: %s after %s", cur.Name, prev.Name)
+		}
+		if cur.FLOPs <= prev.FLOPs || cur.Latencies[0].TotalNanos <= prev.Latencies[0].TotalNanos {
+			t.Errorf("lookback cost order broken: %s (%d rows, %d FLOPs, %d ns) after %s (%d rows, %d FLOPs, %d ns)",
+				cur.Name, cur.Lookback, cur.FLOPs, cur.Latencies[0].TotalNanos,
+				prev.Name, prev.Lookback, prev.FLOPs, prev.Latencies[0].TotalNanos)
+		}
+	}
+	// The Pareto subset is non-empty and monotone: walking it by increasing
+	// latency, accuracy strictly increases (otherwise a member would
+	// dominate another member).
+	var pareto []FrontierRow
+	for _, v := range rep.Variants {
+		if v.Pareto {
+			pareto = append(pareto, v)
+		}
+	}
+	if len(pareto) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	for i := 1; i < len(pareto); i++ {
+		if pareto[i].Accuracy <= pareto[i-1].Accuracy {
+			t.Errorf("frontier not monotone: %s (%.3f) after %s (%.3f)",
+				pareto[i].Name, pareto[i].Accuracy, pareto[i-1].Name, pareto[i-1].Accuracy)
+		}
+		if pareto[i].Latencies[0].TickToTradeNanos <= pareto[i-1].Latencies[0].TickToTradeNanos {
+			t.Errorf("frontier latency not increasing at %s", pareto[i].Name)
+		}
+	}
+
+	// Recovery: for every scenario the ladder must recover response rate
+	// the drop-only baseline loses, with the degrades accounted.
+	if len(rep.Recovery) != 4 {
+		t.Fatalf("recovery sweep has %d rows, want 4", len(rep.Recovery))
+	}
+	byCell := map[[2]string]RecoveryRow{}
+	for _, r := range rep.Recovery {
+		byCell[[2]string{r.Scenario, r.Mode}] = r
+	}
+	for _, sc := range []string{"flash-crash", "opening"} {
+		drop, degrade := byCell[[2]string{sc, "drop-only"}], byCell[[2]string{sc, "degrade"}]
+		if drop.Submitted == 0 || drop.Submitted != degrade.Submitted {
+			t.Fatalf("%s: submitted %d vs %d", sc, drop.Submitted, degrade.Submitted)
+		}
+		if drop.DeferredDeadline == 0 {
+			t.Errorf("%s: drop-only deferred nothing; the deadline budget does not bite", sc)
+		}
+		if degrade.Degrades == 0 {
+			t.Errorf("%s: ladder never degraded", sc)
+		}
+		if degrade.ResponseRate <= drop.ResponseRate {
+			t.Errorf("%s: degrade response %.4f not above drop-only %.4f",
+				sc, degrade.ResponseRate, drop.ResponseRate)
+		}
+		if len(degrade.TierIssues) != 3 {
+			t.Errorf("%s: tier issues %v, want 3 rungs", sc, degrade.TierIssues)
+		}
+		sum := 0
+		for _, n := range degrade.TierIssues[1:] {
+			sum += n
+		}
+		if sum == 0 {
+			t.Errorf("%s: no batches issued on ladder rungs: %v", sc, degrade.TierIssues)
+		}
+	}
+
+	// The archived form round-trips.
+	buf, err := FrontierJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FrontierReport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Variants) != len(rep.Variants) || len(back.Recovery) != len(rep.Recovery) {
+		t.Fatalf("JSON round-trip lost rows: %d/%d variants, %d/%d recovery",
+			len(back.Variants), len(rep.Variants), len(back.Recovery), len(rep.Recovery))
+	}
+	t.Logf("\n%s", RenderFrontier(rep))
+}

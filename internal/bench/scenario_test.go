@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -193,7 +194,7 @@ func TestScenarioSimServeVenueDifferential(t *testing.T) {
 		}
 	}
 	stWire := runScenarioServe(t, src, qs, received, tAvail)
-	if stWire != st {
+	if !reflect.DeepEqual(stWire, st) {
 		t.Errorf("venue-replayed serve stats %+v differ from direct serve stats %+v", stWire, st)
 	}
 	t.Logf("three-way differential over %d packets: %d served, %d late, %d evicted, %d def-ddl, %d def-pw",

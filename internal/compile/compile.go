@@ -37,7 +37,23 @@ func CompileFor(m *nn.Model, spec cgra.Spec, prec cgra.Precision) (*cgra.Kernel,
 	lspec.FMTBandwidth = spec.FMTBandwidth * 2 / int(prec.ElementBytes())
 	k := &cgra.Kernel{ModelName: m.Name(), Precision: prec}
 	shape := m.InputShape
+	inShape := m.InputShape
 	for i, layer := range m.Layers {
+		// A leading lookback crop is free on the wire: the host holds the
+		// full feature window contiguously, so the C2C DMA simply starts at
+		// the crop offset and only the kept rows transfer — no FMT layout
+		// pass, and InputBytes shrinks with the lookback. Crops deeper in
+		// the stack still stream through the FMT like any layout change.
+		if i == 0 {
+			if wc, ok := layer.(nn.WindowCrop); ok {
+				next, err := wc.OutShape(shape)
+				if err != nil {
+					return nil, fmt.Errorf("compile: %s layer %d: %w", m.Name(), i, err)
+				}
+				shape, inShape = next, next
+				continue
+			}
+		}
 		// Matmul-class lowering sees the widened lanes. Nonlinearities in
 		// the quantised path become 256-entry table lookups, so EPE-class
 		// work rides the same 4× lane widening; only FMT layout passes are
@@ -54,7 +70,7 @@ func CompileFor(m *nn.Model, spec cgra.Spec, prec cgra.Precision) (*cgra.Kernel,
 		shape = next
 	}
 	eb := prec.ElementBytes()
-	k.InputBytes = int64(prodInts(m.InputShape)) * eb
+	k.InputBytes = int64(prodInts(inShape)) * eb
 	k.OutputBytes = int64(nn.NumClasses) * 2 // probabilities return in BF16
 	k.WeightBytes = m.Params() * eb
 	k.TotalFLOPs = m.TotalFLOPs()
@@ -146,10 +162,15 @@ func lower(layer nn.Layer, in []int, spec cgra.Spec) ([]cgra.Hyperblock, error) 
 		return []cgra.Hyperblock{elementwiseBlock(layer.Name(), prodInts(in)*2, true, layer.FLOPs(in), spec)}, nil
 	case nn.PositionalEncoding:
 		return []cgra.Hyperblock{elementwiseBlock(layer.Name(), prodInts(in), false, layer.FLOPs(in), spec)}, nil
-	case nn.SoftmaxLayer:
+	case nn.SoftmaxLayer, nn.SoftmaxHeads:
+		// SoftmaxHeads is per-segment softmax: same EPE-class elementwise
+		// work over the same element count as one flat softmax.
 		return []cgra.Hyperblock{elementwiseBlock(layer.Name(), prodInts(in)*2, true, layer.FLOPs(in), spec)}, nil
 	case nn.Flatten, nn.SeqFromCHW:
 		return []cgra.Hyperblock{formatBlock(layer.Name(), prodInts(in), spec)}, nil
+	case nn.WindowCrop:
+		// The lookback crop streams the kept rows through the FMT.
+		return []cgra.Hyperblock{formatBlock(layer.Name(), prodInts(out), spec)}, nil
 	case *nn.Inception:
 		var blocks []cgra.Hyperblock
 		for bi, branch := range l.Branches {

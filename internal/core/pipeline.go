@@ -36,6 +36,13 @@ type Pipeline struct {
 	// must be non-blocking and allocation-free.
 	sig SignalHook
 
+	// ladder holds the degrade ladder's functional models (tier t > 0 is
+	// ladder[t-1]); tier selects which one answers the next forward pass.
+	// Both are plain fields set by the serving lane under its dispatch lock,
+	// so switching tiers costs one store and zero allocations.
+	ladder []*nn.Model
+	tier   int
+
 	// Local market-by-price book mirror: the HFT-side LOB of §II-A,
 	// reconstructed from incremental refresh messages.
 	bids      [lob.DepthLevels]lob.Level
@@ -87,6 +94,35 @@ func (p *Pipeline) Model() *nn.Model { return p.model }
 // SetLatency attaches a histogram recording each OnDecodedPacket call's
 // wall-clock duration (book update through trading decision). nil detaches.
 func (p *Pipeline) SetLatency(hist *latency.Histogram) { p.lat = hist }
+
+// SetModelLadder attaches the degrade ladder's functional models: tier
+// t > 0 selects models[t-1] for the forward pass, tier 0 (and any nil
+// entry) keeps the primary model. Every entry must share the primary
+// model's input shape — the offload engine assembles one feature-map
+// format; cheaper zoo variants crop inside the network (nn.WindowCrop).
+// The active tier resets to the primary model.
+func (p *Pipeline) SetModelLadder(models []*nn.Model) {
+	p.ladder = models
+	p.tier = 0
+}
+
+// SetActiveTier selects the model the next forward pass runs: 0 is the
+// primary model, t > 0 the t-th ladder entry. Out-of-range tiers (and nil
+// ladder entries) fall back to the primary model, so a tier-aware engine
+// can set the admission tier unconditionally. Callers synchronise with
+// dispatch (the serving lane holds its processing lock).
+func (p *Pipeline) SetActiveTier(tier int) { p.tier = tier }
+
+// activeModel resolves the tier selection to the model answering the next
+// forward pass.
+func (p *Pipeline) activeModel() *nn.Model {
+	if p.tier > 0 && p.tier <= len(p.ladder) {
+		if m := p.ladder[p.tier-1]; m != nil {
+			return m
+		}
+	}
+	return p.model
+}
 
 // SetPredictor replaces the model forward pass with fn (nil restores the
 // model). The offload engine still assembles feature maps; fn receives each
@@ -251,7 +287,7 @@ func (p *Pipeline) onTick(timeNanos int64, dst []exchange.Request) ([]exchange.R
 		if p.predict != nil {
 			dir, conf, err = p.predict(in.Tensor)
 		} else {
-			dir, conf, err = p.model.Predict(in.Tensor)
+			dir, conf, err = p.activeModel().Predict(in.Tensor)
 		}
 		p.offl.Recycle(in.Tensor) // feature map consumed; reuse its storage
 		if err != nil {

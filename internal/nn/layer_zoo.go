@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lighttrader/internal/tensor"
+)
+
+// WindowCrop keeps the most recent Rows rows of a [C,H,W] activation. It is
+// the zoo's lookback knob: every variant keeps the full [1,Window,Features]
+// input contract with the offload engine while the downstream stack consumes
+// only the newest Rows tick snapshots.
+type WindowCrop struct{ Rows int }
+
+// Name implements Layer.
+func (wc WindowCrop) Name() string { return fmt.Sprintf("crop(last %d)", wc.Rows) }
+
+// OutShape implements Layer.
+func (wc WindowCrop) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: crop expects rank 3, got %v", in)
+	}
+	if wc.Rows <= 0 || wc.Rows > in[1] {
+		return nil, fmt.Errorf("nn: crop(last %d) outside window height %d", wc.Rows, in[1])
+	}
+	return []int{in[0], wc.Rows, in[2]}, nil
+}
+
+// Forward implements Layer.
+func (wc WindowCrop) Forward(x *tensor.Tensor) *tensor.Tensor { return wc.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer: rows within a channel are contiguous, so the
+// crop is one copy per channel.
+func (wc WindowCrop) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := newTensor(p, c, wc.Rows, w)
+	xf, of := x.Data(), out.Data()
+	for ci := 0; ci < c; ci++ {
+		copy(of[ci*wc.Rows*w:(ci+1)*wc.Rows*w], xf[(ci*h+h-wc.Rows)*w:(ci*h+h)*w])
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (WindowCrop) FLOPs([]int) int64 { return 0 }
+
+// Params implements Layer.
+func (WindowCrop) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (WindowCrop) Init(*rand.Rand) {}
+
+// Backward implements Backprop: the gradient routes to the kept rows and the
+// dropped (older) rows receive zero.
+func (wc WindowCrop) Backward(input, _, gradOut *tensor.Tensor) *tensor.Tensor {
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	gradIn := tensor.New(c, h, w)
+	gf, gof := gradIn.Data(), gradOut.Data()
+	for ci := 0; ci < c; ci++ {
+		copy(gf[(ci*h+h-wc.Rows)*w:(ci*h+h)*w], gof[ci*wc.Rows*w:(ci+1)*wc.Rows*w])
+	}
+	return gradIn
+}
+
+// Update implements Backprop (no parameters).
+func (WindowCrop) Update(float32) {}
+
+// SoftmaxHeads applies an independent softmax to each of Heads contiguous
+// segments of a rank-1 input: the joint multi-horizon output head (LiTCVG
+// style), where one backbone emits Heads×NumClasses logits and each horizon
+// gets its own probability distribution.
+type SoftmaxHeads struct{ Heads int }
+
+// Name implements Layer.
+func (s SoftmaxHeads) Name() string { return fmt.Sprintf("softmax×%d", s.Heads) }
+
+// OutShape implements Layer.
+func (s SoftmaxHeads) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: softmax×%d expects rank 1, got %v", s.Heads, in)
+	}
+	if s.Heads <= 0 || in[0]%s.Heads != 0 {
+		return nil, fmt.Errorf("nn: softmax×%d cannot split %d outputs", s.Heads, in[0])
+	}
+	return in, nil
+}
+
+// Forward implements Layer.
+func (s SoftmaxHeads) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardCtx(nil, x) }
+
+// ForwardCtx implements Layer.
+func (s SoftmaxHeads) ForwardCtx(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	out := newTensor(p, x.Shape()...)
+	seg := x.Size() / s.Heads
+	for h := 0; h < s.Heads; h++ {
+		xs := x.Data()[h*seg : (h+1)*seg]
+		os := out.Data()[h*seg : (h+1)*seg]
+		maxv := xs[0]
+		for _, v := range xs[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for i, v := range xs {
+			e := exp32(v - maxv)
+			os[i] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for i := range os {
+			os[i] *= inv
+		}
+	}
+	return out
+}
+
+// FLOPs implements Layer.
+func (SoftmaxHeads) FLOPs(in []int) int64 { return int64(prod(in)) * 10 }
+
+// Params implements Layer.
+func (SoftmaxHeads) Params() int64 { return 0 }
+
+// Init implements Layer.
+func (SoftmaxHeads) Init(*rand.Rand) {}

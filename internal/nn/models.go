@@ -1,9 +1,13 @@
 package nn
 
-// Model zoo. All models consume the offload engine's feature map: a
-// [1, Window, Features] tensor of Window tick snapshots × Features
+// Benchmark-model presets. All models consume the offload engine's feature
+// map: a [1, Window, Features] tensor of Window tick snapshots × Features
 // Z-scored LOB values (10 levels × (ask price, ask qty, bid price, bid qty)),
 // and emit NumClasses direction probabilities — the pipeline of paper Fig. 3.
+//
+// Since the zoo refactor there is one construction path: each preset is a
+// ZooSpec (see zoo.go) and these constructors are thin aliases over
+// BuildZoo, pinned byte-identical to the pre-zoo models by pin_test.go.
 
 // Input geometry shared by all benchmark models.
 const (
@@ -19,97 +23,17 @@ func InputShape() []int { return []int{1, Window, Features} }
 // NewVanillaCNN builds the plain convolutional baseline of Tsantekidis et
 // al. (2017), scaled to the operation count the paper's Table II implies
 // relative to DeepLOB.
-func NewVanillaCNN() *Model {
-	m := &Model{
-		ModelName:  "VanillaCNN",
-		InputShape: InputShape(),
-		Layers: []Layer{
-			NewConv2D(1, 64, 4, Features, 1, 1, 0, 0, ActReLU), // [64,97,1]
-			NewMaxPool2D(2, 1, 0, 0),                           // [64,48,1]
-			NewConv2D(64, 64, 4, 1, 1, 1, 0, 0, ActReLU),       // [64,45,1]
-			NewMaxPool2D(2, 1, 0, 0),                           // [64,22,1]
-			Flatten{},
-			NewDense(64*22, 128, ActReLU),
-			NewDense(128, NumClasses, ActNone),
-			SoftmaxLayer{},
-		},
-	}
-	m.Init(1)
-	return m
-}
+func NewVanillaCNN() *Model { return MustBuildZoo(VanillaCNNSpec()) }
 
 // NewDeepLOB builds DeepLOB (Zhang, Zohren, Roberts 2019): three
 // convolutional blocks that fold the 40 LOB features into one column, an
 // inception module, and an LSTM head.
-func NewDeepLOB() *Model {
-	inception := &Inception{Branches: [][]Layer{
-		{
-			NewConv2D(16, 32, 1, 1, 1, 1, 0, 0, ActLeakyReLU),
-			NewConv2D(32, 32, 3, 1, 1, 1, 1, 0, ActLeakyReLU),
-		},
-		{
-			NewConv2D(16, 32, 1, 1, 1, 1, 0, 0, ActLeakyReLU),
-			NewConv2D(32, 32, 5, 1, 1, 1, 2, 0, ActLeakyReLU),
-		},
-		{
-			NewMaxPool2D(3, 1, 1, 1), // stride 1 keeps H=100 with pad below
-			NewConv2D(16, 32, 1, 1, 1, 1, 1, 0, ActLeakyReLU),
-		},
-	}}
-	m := &Model{
-		ModelName:  "DeepLOB",
-		InputShape: InputShape(),
-		Layers: []Layer{
-			// Block 1: fold (price,qty) pairs. [1,100,40] → [16,100,20]
-			NewConv2D(1, 16, 1, 2, 1, 2, 0, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 2, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 1, 0, ActLeakyReLU),
-			// Block 2: fold sides. → [16,100,10]
-			NewConv2D(16, 16, 1, 2, 1, 2, 0, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 2, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 1, 0, ActLeakyReLU),
-			// Block 3: fold levels. → [16,100,1]
-			NewConv2D(16, 16, 1, 10, 1, 10, 0, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 2, 0, ActLeakyReLU),
-			NewConv2D(16, 16, 4, 1, 1, 1, 1, 0, ActLeakyReLU),
-			inception, // → [96,100,1]
-			SeqFromCHW{},
-			NewLSTM(96, 64, true),
-			NewDense(64, NumClasses, ActNone),
-			SoftmaxLayer{},
-		},
-	}
-	m.Init(2)
-	return m
-}
+func NewDeepLOB() *Model { return MustBuildZoo(DeepLOBSpec()) }
 
 // NewTransLOB builds TransLOB (Wallbridge 2020): a convolutional feature
 // embedding followed by positional encoding and two transformer encoder
 // blocks.
-func NewTransLOB() *Model {
-	m := &Model{
-		ModelName:  "TransLOB",
-		InputShape: InputShape(),
-		Layers: []Layer{
-			// Feature embedding across the LOB dimension. → [32,100,1]
-			NewConv2D(1, 32, 1, Features, 1, 1, 0, 0, ActReLU),
-			// Dilated-causal-style temporal stack (same-padded).
-			NewConv2D(32, 32, 3, 1, 1, 1, 1, 0, ActReLU),
-			NewConv2D(32, 32, 3, 1, 1, 1, 1, 0, ActReLU),
-			NewConv2D(32, 32, 3, 1, 1, 1, 1, 0, ActReLU),
-			NewConv2D(32, 32, 3, 1, 1, 1, 1, 0, ActReLU),
-			SeqFromCHW{}, // [100,32]
-			PositionalEncoding{},
-			NewTransformerBlock(32, 4, 128),
-			NewTransformerBlock(32, 4, 128),
-			Flatten{},
-			NewDense(Window*32, NumClasses, ActNone),
-			SoftmaxLayer{},
-		},
-	}
-	m.Init(3)
-	return m
-}
+func NewTransLOB() *Model { return MustBuildZoo(TransLOBSpec()) }
 
 // NewSizedCNN builds a CNN whose cost scales with both width (channels) and
 // depth (extra same-padded temporal convolutions); it is the complexity knob
@@ -117,22 +41,7 @@ func NewTransLOB() *Model {
 // inference latency on the accelerator, so the ladder spans the latency
 // range the figure sweeps.
 func NewSizedCNN(name string, channels, extraConvs int) *Model {
-	layers := []Layer{
-		NewConv2D(1, channels, 4, Features, 1, 1, 0, 0, ActReLU), // [ch,97,1]
-		NewMaxPool2D(2, 1, 0, 0),                                 // [ch,48,1]
-	}
-	for i := 0; i < extraConvs; i++ {
-		layers = append(layers, NewConv2D(channels, channels, 3, 1, 1, 1, 1, 0, ActReLU))
-	}
-	layers = append(layers,
-		Flatten{},
-		NewDense(channels*48, 64, ActReLU),
-		NewDense(64, NumClasses, ActNone),
-		SoftmaxLayer{},
-	)
-	m := &Model{ModelName: name, InputShape: InputShape(), Layers: layers}
-	m.Init(int64(channels)*31 + int64(extraConvs))
-	return m
+	return MustBuildZoo(SizedCNNSpec(name, channels, extraConvs))
 }
 
 // ComplexityLadder returns the five models M1 (simplest) … M5 (most

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"lighttrader/internal/tensor"
+)
+
+// TestZooPresetSpecsMatchConstructors proves the one-construction-path
+// claim: building the preset specs through BuildZoo is exactly the
+// constructor path (same names, layer stacks, params and FLOPs).
+func TestZooPresetSpecsMatchConstructors(t *testing.T) {
+	cases := []struct {
+		spec ZooSpec
+		ctor func() *Model
+	}{
+		{VanillaCNNSpec(), NewVanillaCNN},
+		{DeepLOBSpec(), NewDeepLOB},
+		{TransLOBSpec(), NewTransLOB},
+		{SizedCNNSpec("M3", 32, 7), func() *Model { return NewSizedCNN("M3", 32, 7) }},
+	}
+	for _, c := range cases {
+		built, err := BuildZoo(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Name, err)
+		}
+		want := c.ctor()
+		if built.Name() != want.Name() || len(built.Layers) != len(want.Layers) {
+			t.Errorf("%s: zoo build diverges from constructor", c.spec.Name)
+		}
+		if built.Params() != want.Params() || built.TotalFLOPs() != want.TotalFLOPs() {
+			t.Errorf("%s: params/flops diverge: %d/%d vs %d/%d", c.spec.Name,
+				built.Params(), built.TotalFLOPs(), want.Params(), want.TotalFLOPs())
+		}
+	}
+}
+
+// TestZooVariantAxes exercises the new zoo axes — lookback cropping and
+// joint multi-horizon heads — across all three families.
+func TestZooVariantAxes(t *testing.T) {
+	specs := []ZooSpec{
+		{Name: "cnn-lb", Arch: ZooCNN, Width: 8, Depth: 1, Lookback: 32},
+		{Name: "cnn-mh", Arch: ZooCNN, Width: 8, Horizons: []int{10, 50, 100}},
+		{Name: "lstm-lb-mh", Arch: ZooLSTM, Width: 8, Lookback: 40, Horizons: []int{10, 50}},
+		{Name: "trans-lb", Arch: ZooTransformer, Width: 8, Depth: 1, Lookback: 24},
+	}
+	x := pinInput()
+	for _, s := range specs {
+		m, err := BuildZoo(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		shape, err := m.Validate()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if want := s.Heads() * NumClasses; prod(shape) != want {
+			t.Fatalf("%s: output size %d, want %d", s.Name, prod(shape), want)
+		}
+		// Full-window input contract holds regardless of lookback.
+		if _, _, err := m.Predict(x); err != nil {
+			t.Fatalf("%s: Predict: %v", s.Name, err)
+		}
+		for h := 0; h < s.Heads(); h++ {
+			dir, conf, err := m.PredictHead(h, x)
+			if err != nil {
+				t.Fatalf("%s head %d: %v", s.Name, h, err)
+			}
+			if conf < 0 || conf > 1 || dir > Up {
+				t.Fatalf("%s head %d: dir %v conf %v", s.Name, h, dir, conf)
+			}
+		}
+	}
+}
+
+// TestZooSpecValidation rejects malformed specs.
+func TestZooSpecValidation(t *testing.T) {
+	bad := []ZooSpec{
+		{Name: "lb-low", Arch: ZooCNN, Width: 8, Lookback: 4},
+		{Name: "lb-high", Arch: ZooCNN, Width: 8, Lookback: Window + 1},
+		{Name: "neg-width", Arch: ZooCNN, Width: -1},
+		{Name: "odd-embed", Arch: ZooTransformer, Width: 10},
+		{Name: "bad-arch", Arch: ZooArch(9)},
+	}
+	for _, s := range bad {
+		if _, err := BuildZoo(s); err == nil {
+			t.Errorf("%s: BuildZoo accepted invalid spec", s.Name)
+		}
+	}
+}
+
+// TestWindowCropBackprop checks the crop layer's gradient routing: the kept
+// rows pass through, dropped rows are zero.
+func TestWindowCropBackprop(t *testing.T) {
+	wc := WindowCrop{Rows: 3}
+	x := tensor.New(2, 5, 4)
+	for i, d := 0, x.Data(); i < len(d); i++ {
+		d[i] = float32(i)
+	}
+	out := wc.Forward(x)
+	if got, want := out.At3(0, 0, 0), x.At3(0, 2, 0); got != want {
+		t.Fatalf("crop kept wrong rows: got %v want %v", got, want)
+	}
+	gradOut := tensor.New(2, 3, 4)
+	for i, d := 0, gradOut.Data(); i < len(d); i++ {
+		d[i] = 1
+	}
+	gradIn := wc.Backward(x, out, gradOut)
+	for c := 0; c < 2; c++ {
+		for h := 0; h < 5; h++ {
+			want := float32(0)
+			if h >= 2 {
+				want = 1
+			}
+			if got := gradIn.At3(c, h, 0); got != want {
+				t.Fatalf("gradIn[%d,%d,0] = %v, want %v", c, h, got, want)
+			}
+		}
+	}
+}
+
+// TestZooJointTraining trains a tiny multi-horizon lookback variant on a
+// fixed-direction toy set and checks the joint loss drops and head
+// accuracies become measurable.
+func TestZooJointTraining(t *testing.T) {
+	m, err := BuildZoo(ZooSpec{
+		Name: "train-mh", Arch: ZooCNN, Width: 4, Lookback: 16,
+		Horizons: []int{10, 50}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Toy task: the sign of the feature map decides both heads.
+	xs := make([]*tensor.Tensor, 24)
+	labels := make([][]Direction, len(xs))
+	head0 := make([]Direction, len(xs))
+	for i := range xs {
+		x := tensor.New(InputShape()...)
+		v := float32(1)
+		dir := Up
+		if i%2 == 0 {
+			v, dir = -1, Down
+		}
+		d := x.Data()
+		for j := range d {
+			d[j] = v
+		}
+		xs[i] = x
+		labels[i] = []Direction{dir, dir}
+		head0[i] = dir
+	}
+	first, err := tr.EpochJoint(xs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for e := 0; e < 20; e++ {
+		if last, err = tr.EpochJoint(xs, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("joint loss did not drop: first %v last %v", first, last)
+	}
+	for h := 0; h < 2; h++ {
+		acc, err := AccuracyHead(m, h, xs, head0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc != 1 {
+			t.Errorf("head %d accuracy %v after training separable toy task", h, acc)
+		}
+	}
+}

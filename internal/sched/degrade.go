@@ -1,0 +1,91 @@
+package sched
+
+// Model-tier degradation (the inference-compute-frontier seam). A degrade
+// ladder is a cost-descending list of cheaper compiled models, each with its
+// own Config (latency tables, activity factor, static DVFS point) sharing
+// the primary Config's accelerator Spec and power budget. When the primary
+// model is deadline- or power-infeasible for the oldest query, the engine
+// re-runs admission down the ladder and issues on the first tier that fits
+// instead of dropping — trading prediction accuracy for a response.
+
+// ModelTier couples one cheaper model's scheduling tables with the policy
+// instance that answers admission questions against them.
+type ModelTier struct {
+	// Cfg is the tier's compiled cost model. It must share the primary
+	// Config's Spec and PowerBudgetWatts: the ladder changes what runs,
+	// never the hardware or the budget.
+	Cfg *Config
+	// Scheduler decides against Cfg. Built from the same factory as the
+	// primary policy so the ladder inherits its issue objective.
+	Scheduler Scheduler
+}
+
+// NewModelTiers builds the ladder for a factory over cost-descending tier
+// configs (tier 1 first). Each tier gets its own policy instance, keeping
+// stateful policies (Q-tables, round-robin cursors) per-tier.
+func NewModelTiers(f Factory, cfgs []*Config) []ModelTier {
+	tiers := make([]ModelTier, len(cfgs))
+	for i, cfg := range cfgs {
+		tiers[i] = ModelTier{Cfg: cfg, Scheduler: f(cfg)}
+	}
+	return tiers
+}
+
+// Degradable reports whether a primary-model verdict opens the ladder: only
+// infeasibility verdicts do — an issued decision or an empty queue never
+// degrades.
+func Degradable(v Verdict) bool {
+	return v == VerdictDeadlineInfeasible || v == VerdictPowerInfeasible
+}
+
+// Degrade walks the ladder for a context whose primary-model admission
+// failed and returns the first tier that fits, with VerdictDegradedModel
+// and Tier set. The second result is false when no tier fits either.
+func Degrade(tiers []ModelTier, ctx SchedContext) (Decision, bool) {
+	for i, t := range tiers {
+		alt := t.Scheduler.Decide(ctx)
+		if alt.Verdict == VerdictIssued {
+			alt.Verdict = VerdictDegradedModel
+			alt.Tier = i + 1
+			return alt, true
+		}
+	}
+	return Decision{}, false
+}
+
+// DegradingScheduler wraps a base policy with a degrade ladder: the base
+// decides first against the primary model; only when it reports the oldest
+// query deadline- or power-infeasible does the ladder get a say, and the
+// first tier whose own admission succeeds issues with
+// VerdictDegradedModel/Decision.Tier set. A full-model-feasible query is
+// therefore never degraded, and VerdictNoQueue passes straight through.
+//
+// Only tier-aware engines may run a DegradingScheduler: the consumer must
+// honour VerdictDegradedModel as an issue against Decision.Tier's cost
+// model. The serving runtime is tier-aware through serve.Config.Tiers (its
+// governor interleaves Algorithm 2's power-saving retry between the base
+// decision and the ladder); the offline simulator is not.
+type DegradingScheduler struct {
+	base  Scheduler
+	tiers []ModelTier
+}
+
+// NewDegradingScheduler wraps base with the ladder.
+func NewDegradingScheduler(base Scheduler, tiers []ModelTier) *DegradingScheduler {
+	return &DegradingScheduler{base: base, tiers: tiers}
+}
+
+// Name implements Scheduler.
+func (d *DegradingScheduler) Name() string { return d.base.Name() + "+degrade" }
+
+// Decide implements Scheduler.
+func (d *DegradingScheduler) Decide(ctx SchedContext) Decision {
+	dec := d.base.Decide(ctx)
+	if !Degradable(dec.Verdict) {
+		return dec
+	}
+	if alt, ok := Degrade(d.tiers, ctx); ok {
+		return alt
+	}
+	return dec
+}

@@ -162,6 +162,12 @@ const (
 	VerdictPowerInfeasible
 	// VerdictNoQueue: nothing was queued; there was no decision to make.
 	VerdictNoQueue
+	// VerdictDegradedModel: the full model was infeasible but a cheaper
+	// model tier admitted the batch — the issue carries the tier's cost
+	// model and Decision.Tier names the tier. An engine treats it exactly
+	// like VerdictIssued except for degrade accounting (it is an answered
+	// query, not a miss).
+	VerdictDegradedModel
 )
 
 // String implements fmt.Stringer.
@@ -175,6 +181,8 @@ func (v Verdict) String() string {
 		return "power-infeasible"
 	case VerdictNoQueue:
 		return "no-queue"
+	case VerdictDegradedModel:
+		return "degraded-model"
 	default:
 		return "Verdict(?)"
 	}

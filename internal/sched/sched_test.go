@@ -332,7 +332,9 @@ func TestQuickSavePowerOnlyDown(t *testing.T) {
 			}
 			stretched := int64(float64(a.RemainingNanos) * d.FreqGHz / ch.DVFS.FreqGHz)
 			extra := stretched - a.RemainingNanos + cfg.Spec.DVFSSwitchNanos
-			if extra >= a.SlackNanos {
+			// Consuming the slack exactly is legal: the stretched batch then
+			// completes at its deadline, which still counts as on time.
+			if extra > a.SlackNanos {
 				return false
 			}
 		}

@@ -61,6 +61,11 @@ type SchedContext struct {
 type Decision struct {
 	Issue   Issue
 	Verdict Verdict
+	// Tier names the model tier the issue was admitted against: 0 is the
+	// engine's primary model; tier t > 0 is the t-th entry of its degrade
+	// ladder (cheaper cost model). Non-zero only with
+	// VerdictDegradedModel.
+	Tier int
 }
 
 // Scheduler is a pluggable scheduling strategy. Implementations must be

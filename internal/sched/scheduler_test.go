@@ -12,6 +12,7 @@ import (
 // whose String() is the unknown sentinel).
 var allVerdicts = []Verdict{
 	VerdictIssued, VerdictDeadlineInfeasible, VerdictPowerInfeasible, VerdictNoQueue,
+	VerdictDegradedModel,
 }
 
 // TestDeferCauseCoversTaxonomy checks the shared verdict→cause mapping is
@@ -24,6 +25,7 @@ func TestDeferCauseCoversTaxonomy(t *testing.T) {
 		VerdictDeadlineInfeasible: sim.CauseDeadline,
 		VerdictPowerInfeasible:    sim.CausePower,
 		VerdictNoQueue:            sim.CauseNone,
+		VerdictDegradedModel:      sim.CauseNone,
 	}
 	for _, v := range allVerdicts {
 		if strings.Contains(v.String(), "?") {

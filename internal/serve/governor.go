@@ -25,6 +25,10 @@ type laneDVFS struct {
 	// slack bound a SavePower scale-down must not violate.
 	minDeadline int64
 	retimes     int
+	// tier is the model tier the in-flight batch was admitted against: 0 is
+	// the primary model, t > 0 the t-th degrade-ladder rung — the cost
+	// model its draw and any retime must be accounted with.
+	tier int
 
 	switches, saves, redistributes, parks int64
 }
@@ -53,6 +57,12 @@ type governor struct {
 	modelled bool
 	pre      int64
 
+	// tierCfgs are the degrade ladder's cost models, cost-descending (tier
+	// t > 0 is tierCfgs[t-1]); nil without Config.Tiers. Every tier shares
+	// the primary cfg's Spec-level idle model and power budget, so cross-
+	// tier draw sums stay meaningful.
+	tierCfgs []*sched.Config
+
 	mu      sync.Mutex
 	lanes   []laneDVFS
 	scratch []sched.BusyAccel
@@ -60,6 +70,11 @@ type governor struct {
 	// retries counts power-infeasible decisions that triggered the saving
 	// step; rescues counts the retries that issued after it freed budget.
 	retries, rescues int64
+	// degrades counts batches the ladder admitted after the primary model
+	// was infeasible; tierIssues[t] counts batches issued against tier t
+	// (index 0 is the primary model).
+	degrades   int64
+	tierIssues []int64
 }
 
 // admitResult is the outcome of one transactional admission attempt.
@@ -73,6 +88,9 @@ type admitResult struct {
 	// done is the committed batch's projected completion at issue time,
 	// before any later retiming (the DoneNanos the issue events carry).
 	done int64
+	// tier is the model tier the batch was admitted against (0 = primary;
+	// non-zero only with VerdictDegradedModel).
+	tier int
 }
 
 func newGovernor(srv *Server, cfg *sched.Config, lanes int) *governor {
@@ -84,6 +102,13 @@ func newGovernor(srv *Server, cfg *sched.Config, lanes int) *governor {
 	g.lanes = make([]laneDVFS, lanes)
 	if cfg != nil {
 		g.dvfs = cfg.DVFSScheduling && !srv.cfg.DisablePowerGovernor
+		if n := len(srv.cfg.Tiers); n > 0 {
+			g.tierCfgs = make([]*sched.Config, n)
+			for i, t := range srv.cfg.Tiers {
+				g.tierCfgs[i] = t.Sched
+			}
+			g.tierIssues = make([]int64, n+1)
+		}
 		start := startState(cfg)
 		idle := cfg.Spec.IdlePower(start)
 		for i := range g.lanes {
@@ -98,13 +123,17 @@ func newGovernor(srv *Server, cfg *sched.Config, lanes int) *governor {
 // admit runs one scheduling decision for laneID transactionally: the policy
 // decides against the live cross-lane power view, a power-infeasible verdict
 // triggers Algorithm 2's saving step across the other busy lanes and one
-// retry (when allowSave), and an issued verdict commits the lane's state,
-// draw and projected completion before the lock is released — then spends
-// any residual budget scaling busy lanes up. minDeadlineFor reports the
-// earliest deadline over the first n queued queries; it is called with the
-// issued batch size while the caller still holds its queue lock.
+// retry (when allowSave), a still-infeasible verdict walks the degrade
+// ladder (tiers), and an issued verdict commits the lane's state, draw and
+// projected completion before the lock is released — then spends any
+// residual budget scaling busy lanes up. The ladder runs strictly after the
+// saving retry, so a query the full model can serve — even one only
+// Algorithm 2 can make room for — is never degraded. minDeadlineFor reports
+// the earliest deadline over the first n queued queries; it is called with
+// the issued batch size while the caller still holds its queue lock.
 func (g *governor) admit(laneID int, now int64, queued int, availNanos int64,
-	pol sched.Scheduler, minDeadlineFor func(int) int64, allowSave bool) admitResult {
+	pol sched.Scheduler, tiers []sched.ModelTier,
+	minDeadlineFor func(int) int64, allowSave bool) admitResult {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	// Modelled time: batches whose completion instant has passed release
@@ -131,7 +160,19 @@ func (g *governor) admit(laneID int, now int64, queued int, availNanos int64,
 		}
 	}
 	if res.verdict != sched.VerdictIssued {
-		return res
+		if len(tiers) == 0 || !sched.Degradable(res.verdict) {
+			return res
+		}
+		// The full model cannot serve the oldest query: re-run admission down
+		// the cost-descending ladder against the same live power view and
+		// issue on the first tier that fits — an answer at reduced accuracy
+		// instead of a drop.
+		alt, ok := sched.Degrade(tiers, g.ctxFor(laneID, now, queued, availNanos))
+		if !ok {
+			return res
+		}
+		res.issue, res.verdict, res.tier = alt.Issue, alt.Verdict, alt.Tier
+		g.degrades++
 	}
 	rec := &g.lanes[laneID]
 	if rec.state != res.issue.DVFS {
@@ -144,16 +185,29 @@ func (g *governor) admit(laneID int, now int64, queued int, availNanos int64,
 	rec.state = res.issue.DVFS
 	rec.busy = true
 	rec.batch = res.issue.Batch
-	rec.draw = g.cfg.BusyPower(res.issue.DVFS)
+	rec.tier = res.tier
+	rec.draw = g.cfgFor(res.tier).BusyPower(res.issue.DVFS)
 	rec.doneNanos = now + g.pre + res.issue.TotalNanos
 	rec.minDeadline = minDeadlineFor(res.issue.Batch)
 	rec.retimes = 0
 	g.noteDraw()
 	res.done = rec.doneNanos
+	if g.tierIssues != nil {
+		g.tierIssues[res.tier]++
+	}
 	if g.dvfs {
 		g.redistribute(now, int(g.srv.queued.Load())-res.issue.Batch)
 	}
 	return res
+}
+
+// cfgFor resolves a model tier to its cost model: 0 (and out-of-range) is
+// the primary config, t > 0 the t-th ladder rung.
+func (g *governor) cfgFor(tier int) *sched.Config {
+	if tier > 0 && tier <= len(g.tierCfgs) {
+		return g.tierCfgs[tier-1]
+	}
+	return g.cfg
 }
 
 // retire marks laneID's batch complete at its (possibly retimed) modelled
@@ -212,6 +266,7 @@ func (g *governor) retireLocked(laneID int, done int64) {
 	rec := &g.lanes[laneID]
 	rec.busy = false
 	rec.batch = 0
+	rec.tier = 0 // idle power is Spec-level, shared by every tier
 	if g.dvfs {
 		floor := g.cfg.Spec.DVFSTable()[0]
 		if rec.state != floor {
@@ -284,7 +339,12 @@ func (g *governor) busyViews(now int64, retimable bool) []sched.BusyAccel {
 			continue
 		}
 		v := sched.BusyViewAt(i, rec.state, rec.batch, rec.minDeadline, rec.doneNanos, now)
-		if retimable && (rec.retimes != 0 || v.RemainingNanos <= amortise) {
+		// Redistribute ranks scale-ups by the primary config's marginal PPW
+		// tables, which misprice a batch running a cheaper tier — degraded
+		// lanes are excluded from upgrades (SavePower still sees them: its
+		// deadline feasibility is frequency-ratio-based, hence tier-free,
+		// and the commit reprices the draw with the tier's own cost model).
+		if retimable && (rec.retimes != 0 || rec.tier != 0 || v.RemainingNanos <= amortise) {
 			continue
 		}
 		views = append(views, v)
@@ -333,15 +393,18 @@ func (g *governor) applyDVFS(laneID int, d cgra.DVFSState, now int64, reason sim
 	}
 	var retimed int64
 	if rec.busy {
+		// Retime and reprice with the in-flight batch's own tier config: a
+		// degraded batch's remaining work and draw follow the cheaper model.
+		cfg := g.cfgFor(rec.tier)
 		remaining := rec.doneNanos - now
 		if remaining < 0 {
 			remaining = 0
 		}
-		newDone := now + g.cfg.RetimedRemainingNanos(remaining, rec.state, d)
+		newDone := now + cfg.RetimedRemainingNanos(remaining, rec.state, d)
 		retimed = newDone - rec.doneNanos
 		rec.doneNanos = newDone
 		rec.retimes++
-		rec.draw = g.cfg.BusyPower(d)
+		rec.draw = cfg.BusyPower(d)
 		switch reason {
 		case sim.DVFSSave:
 			rec.saves++
@@ -388,13 +451,21 @@ func (g *governor) load() (busy int, watts float64) {
 // govCounters is a consistent snapshot of the governor's aggregates.
 type govCounters struct {
 	retries, rescues, saves, redistributes, parks, switches int64
+	degrades                                                int64
+	tierIssues                                              []int64
 	maxDraw                                                 float64
 }
 
 func (g *governor) counters() govCounters {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	c := govCounters{retries: g.retries, rescues: g.rescues, maxDraw: g.maxDraw}
+	c := govCounters{
+		retries: g.retries, rescues: g.rescues,
+		degrades: g.degrades, maxDraw: g.maxDraw,
+	}
+	if g.tierIssues != nil {
+		c.tierIssues = append([]int64(nil), g.tierIssues...)
+	}
 	for i := range g.lanes {
 		c.saves += g.lanes[i].saves
 		c.redistributes += g.lanes[i].redistributes

@@ -68,7 +68,7 @@ func TestQueueSlotsReleasedOnVacate(t *testing.T) {
 		backing := l.queue[:cap(l.queue)]
 		l.enqueue(mkQuery(1, 1, 1<<40))
 		l.enqueue(mkQuery(2, 2, 1<<40))
-		batch, _, _, ok := l.take(false)
+		batch, _, _, _, ok := l.take(false)
 		if !ok || len(batch) != 2 {
 			t.Fatalf("take = %d queries, ok=%v; want 2, true", len(batch), ok)
 		}
@@ -93,7 +93,7 @@ func TestQueueSlotsReleasedOnVacate(t *testing.T) {
 		// Deadline before arrival: admission is deadline-infeasible, so the
 		// query is dropped on the first take.
 		l.enqueue(mkQuery(1, 100, 50))
-		if _, _, _, ok := l.take(false); ok {
+		if _, _, _, _, ok := l.take(false); ok {
 			t.Fatal("expired query issued; want a deadline-infeasible drop")
 		}
 		if !slotReleased(backing[0]) {
@@ -118,11 +118,11 @@ func TestLatencyRecordsPerQueryShare(t *testing.T) {
 		l.enqueue(mkQuery(int64(i), int64(i), 1<<40))
 	}
 	start := time.Now()
-	batch, issue, now, ok := l.take(false)
+	batch, issue, tier, now, ok := l.take(false)
 	if !ok || len(batch) != K {
 		t.Fatalf("take = %d queries, ok=%v; want %d, true", len(batch), ok, K)
 	}
-	l.process(batch, issue, now)
+	l.process(batch, issue, tier, now)
 	wall := time.Since(start).Nanoseconds()
 
 	if got := l.lat.Count(); got != K {

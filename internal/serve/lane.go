@@ -32,6 +32,14 @@ type lane struct {
 	// Config.Scheduler; nil without a scheduling config). Decide is only
 	// called under l.mu, so lane-local policies need no further locking.
 	policy sched.Scheduler
+	// tiers is this lane's degrade ladder: one policy instance per tier
+	// from the same factory as policy (stateful policies stay lane- and
+	// tier-local). Empty without Config.Tiers.
+	tiers []sched.ModelTier
+	// curTier is the model tier the lane's pipelines are currently switched
+	// to (guarded by procMu); process flips it only when it changes, so the
+	// steady-state primary path never touches the pipelines' tier state.
+	curTier int
 
 	// deadlineFn is the bound minDeadlineFor method, built once so the
 	// admission path doesn't allocate a closure per decision.
@@ -70,10 +78,17 @@ func newLane(id int, s *Server) *lane {
 	l.cond = sync.NewCond(&l.mu)
 	l.deadlineFn = l.minDeadlineFor
 	if s.cfg.Sched != nil {
-		if s.cfg.Scheduler != nil {
-			l.policy = s.cfg.Scheduler(s.cfg.Sched)
-		} else {
-			l.policy = sched.NewPPWScheduler(s.cfg.Sched)
+		f := s.cfg.Scheduler
+		if f == nil {
+			f = func(cfg *sched.Config) sched.Scheduler { return sched.NewPPWScheduler(cfg) }
+		}
+		l.policy = f(s.cfg.Sched)
+		if len(s.cfg.Tiers) > 0 {
+			cfgs := make([]*sched.Config, len(s.cfg.Tiers))
+			for i, t := range s.cfg.Tiers {
+				cfgs[i] = t.Sched
+			}
+			l.tiers = sched.NewModelTiers(f, cfgs)
 		}
 	}
 	return l
@@ -151,22 +166,22 @@ func (l *lane) close() {
 // work is the lane goroutine: take a feasible batch, process it, repeat.
 func (l *lane) work() {
 	for {
-		batch, issue, now, ok := l.take(true)
+		batch, issue, tier, now, ok := l.take(true)
 		if !ok {
 			return
 		}
-		l.process(batch, issue, now)
+		l.process(batch, issue, tier, now)
 	}
 }
 
 // dispatchAll drains the queue synchronously (inline mode).
 func (l *lane) dispatchAll() {
 	for {
-		batch, issue, now, ok := l.take(false)
+		batch, issue, tier, now, ok := l.take(false)
 		if !ok {
 			return
 		}
-		l.process(batch, issue, now)
+		l.process(batch, issue, tier, now)
 	}
 }
 
@@ -193,22 +208,25 @@ func clearQueue(qs []query) {
 // queries are dropped with per-cause accounting until either a feasible
 // (dvfs, batch) candidate exists or the queue runs dry. Admission runs
 // through the server's power governor, which makes the decision and its
-// power commitment one transaction and retries power-infeasible decisions
-// after Algorithm 2's saving step. Returns ok=false when the lane is closed
-// (worker mode) or the queue is empty or held (inline).
+// power commitment one transaction, retries power-infeasible decisions
+// after Algorithm 2's saving step, and — with a degrade ladder configured —
+// re-runs still-infeasible decisions against the cheaper tiers before the
+// oldest query is dropped. Returns the admitted model tier (0 = primary)
+// and ok=false when the lane is closed (worker mode) or the queue is empty
+// or held (inline).
 //
 // Under the modelled clock the decision instant is max(oldest arrival,
 // modelled free time) and only queries that have arrived by then join the
 // batch; a decision lying beyond the newest submitted arrival is held until
 // the logical clock catches up (or Drain flushes).
-func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok bool) {
+func (l *lane) take(wait bool) (batch []query, issue sched.Issue, tier int, now int64, ok bool) {
 	cfg := l.srv.cfg.Sched
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if l.closed && wait {
 			// Shutdown abandons the unissued backlog for a prompt stop.
-			return nil, sched.Issue{}, 0, false
+			return nil, sched.Issue{}, 0, 0, false
 		}
 		for len(l.queue) > 0 {
 			now = l.now()
@@ -242,24 +260,30 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 				l.srv.queued.Add(-int64(len(batch)))
 				issue = sched.Issue{Batch: len(batch), TotalNanos: 0}
 				l.inflight = true
-				return batch, issue, now, true
+				return batch, issue, 0, now, true
 			}
 			oldest := l.queue[0]
 			avail := oldest.deadline - now - l.srv.cfg.PrePipelineNanos
-			res := l.srv.gov.admit(l.id, now, arrived, avail, l.policy, l.deadlineFn,
-				now != l.savedAt)
+			res := l.srv.gov.admit(l.id, now, arrived, avail, l.policy, l.tiers,
+				l.deadlineFn, now != l.savedAt)
 			if res.saved {
 				l.savedAt = now
 			}
 			var verdict sched.Verdict
 			issue, verdict = res.issue, res.verdict
-			if verdict == sched.VerdictIssued {
+			if verdict == sched.VerdictIssued || verdict == sched.VerdictDegradedModel {
+				if verdict == sched.VerdictDegradedModel {
+					l.srv.probe.query(sim.QueryEvent{
+						TimeNanos: now, Kind: sim.QueryDegrade, Query: simQuery(oldest),
+						Accel: l.id, Batch: issue.Batch, Tier: res.tier,
+					})
+				}
 				batch = append(batch, l.queue[:issue.Batch]...)
 				clearQueue(l.queue[:issue.Batch])
 				l.queue = l.queue[issue.Batch:]
 				l.srv.queued.Add(-int64(len(batch)))
 				l.inflight = true
-				return batch, issue, now, true
+				return batch, issue, res.tier, now, true
 			}
 			// No feasible candidate for the oldest query: drop it, attribute
 			// the cause, and retry with the next. The drop frees queue space,
@@ -282,7 +306,7 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 			})
 		}
 		if l.closed || !wait {
-			return nil, sched.Issue{}, 0, false
+			return nil, sched.Issue{}, 0, 0, false
 		}
 		l.cond.Wait()
 	}
@@ -290,22 +314,30 @@ func (l *lane) take(wait bool) (batch []query, issue sched.Issue, now int64, ok 
 
 // process runs one issued batch through the lane's pipelines and accounts
 // the completions. The modelled completion time is now + pre-pipeline +
-// t_total from the latency tables, retimed by any governor DVFS changes the
-// batch received in flight; under a wall clock, completion is re-checked
-// against the deadline so real-time overruns surface as late responses.
-func (l *lane) process(batch []query, issue sched.Issue, now int64) {
+// t_total from the latency tables (the issuing tier's tables for a degraded
+// batch), retimed by any governor DVFS changes the batch received in
+// flight; under a wall clock, completion is re-checked against the deadline
+// so real-time overruns surface as late responses. A non-zero tier switches
+// the pipelines' forward pass to the ladder model before dispatch.
+func (l *lane) process(batch []query, issue sched.Issue, tier int, now int64) {
 	done := now + l.srv.cfg.PrePipelineNanos + issue.TotalNanos
 	if l.srv.probe.active() {
 		for _, q := range batch {
 			l.srv.probe.query(sim.QueryEvent{
 				TimeNanos: now, Kind: sim.QueryIssue, Query: simQuery(q),
-				Accel: l.id, Batch: len(batch), DoneNanos: done,
+				Accel: l.id, Batch: len(batch), DoneNanos: done, Tier: tier,
 			})
 		}
 	}
 
 	start := time.Now()
 	l.procMu.Lock()
+	if tier != l.curTier {
+		for _, p := range l.pipes {
+			p.SetActiveTier(tier)
+		}
+		l.curTier = tier
+	}
 	for _, q := range batch {
 		for _, p := range l.pipes {
 			reqs, err := p.OnDecodedPacket(q.pkt)
@@ -354,7 +386,7 @@ func (l *lane) process(batch []query, issue sched.Issue, now int64) {
 		}
 		l.srv.probe.query(sim.QueryEvent{
 			TimeNanos: done, Kind: sim.QueryComplete, Query: simQuery(q),
-			Accel: l.id, Batch: len(batch), DoneNanos: done,
+			Accel: l.id, Batch: len(batch), DoneNanos: done, Tier: tier,
 		})
 	}
 	l.srv.stats.batches.Add(1)

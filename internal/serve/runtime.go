@@ -60,6 +60,17 @@ type Stats struct {
 	// DeferredPower counts Algorithm-1 drops where a deadline-feasible
 	// candidate existed but the shared power budget blocked it.
 	DeferredPower int
+	// Degrades counts batches the degrade ladder admitted on a cheaper
+	// model tier after the primary model (and the governor's power-saving
+	// retry) found the oldest query infeasible. The queries in those
+	// batches are answered — they count toward Served/Late and
+	// ResponseRate — at reduced prediction accuracy; this counter keeps
+	// that trade visible. Zero without Config.Tiers.
+	Degrades int
+	// TierIssues[t] counts batches issued against model tier t: index 0 is
+	// the primary model, index t > 0 the t-th ladder rung. Nil without
+	// Config.Tiers.
+	TierIssues []int
 	// Errors counts pipeline failures while serving (the query still
 	// counts as served or late).
 	Errors int

@@ -29,6 +29,7 @@ import (
 	"lighttrader/internal/exchange"
 	"lighttrader/internal/latency"
 	"lighttrader/internal/lob"
+	"lighttrader/internal/nn"
 	"lighttrader/internal/sbe"
 	"lighttrader/internal/sched"
 	"lighttrader/internal/signal"
@@ -40,6 +41,24 @@ import (
 // in inline mode) and must be safe for concurrent use; calls for the same
 // instrument are always delivered in packet order.
 type OrderSink func(securityID int32, reqs []exchange.Request)
+
+// TierConfig is one rung of the model-degrade ladder: a cheaper compiled
+// model's scheduling tables plus (optionally) its functional software model.
+type TierConfig struct {
+	// Sched is the tier's compiled cost model (latency tables, activity
+	// factor, static point). It must share the primary Config.Sched's
+	// power budget: the ladder changes what runs, never the hardware
+	// envelope. Required.
+	Sched *sched.Config
+	// Model, when non-nil, is the tier's functional software model: lanes
+	// switch the pipeline forward pass to it while a degraded batch is
+	// dispatched, so served predictions really come from the cheaper
+	// network. It must share the primary model's input shape (zoo variants
+	// crop lookback inside the network). nil keeps the primary forward
+	// pass — the cost model alone drives admission, which is what replay
+	// experiments with SetPredictor hooks use.
+	Model *nn.Model
+}
 
 // Config configures a Server.
 type Config struct {
@@ -74,6 +93,15 @@ type Config struct {
 	// lane-local; a factory returning a shared frozen instance (the trained
 	// Q-table) must be read-only in Decide.
 	Scheduler sched.Factory
+	// Tiers is the model-degrade ladder, cost-descending (tier 1 first):
+	// when Algorithm 1 finds the primary model deadline- or power-
+	// infeasible for the oldest query — after the governor's power-saving
+	// retry — admission re-runs down the ladder and issues on the first
+	// tier that fits instead of dropping, trading prediction accuracy for
+	// a response. Degraded issues are counted (Stats.Degrades, TierIssues)
+	// and probed (sim.QueryDegrade), never hidden. Requires Sched; every
+	// tier must keep the primary budget. Empty disables degradation.
+	Tiers []TierConfig
 	// TAvailNanos is the deadline budget granted to queries submitted
 	// without an explicit deadline. 0 means no deadline (infinite budget).
 	TAvailNanos int64
@@ -166,6 +194,23 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
+	if len(cfg.Tiers) > 0 {
+		if cfg.Sched == nil {
+			return nil, errors.New("serve: Tiers require a primary scheduling config")
+		}
+		for i, t := range cfg.Tiers {
+			if t.Sched == nil {
+				return nil, fmt.Errorf("serve: tier %d has no scheduling config", i+1)
+			}
+			if err := t.Sched.Validate(); err != nil {
+				return nil, fmt.Errorf("serve: tier %d: %w", i+1, err)
+			}
+			if t.Sched.PowerBudgetWatts != cfg.Sched.PowerBudgetWatts {
+				return nil, fmt.Errorf("serve: tier %d changes the power budget (%.1f W vs %.1f W): the ladder swaps models, not the envelope",
+					i+1, t.Sched.PowerBudgetWatts, cfg.Sched.PowerBudgetWatts)
+			}
+		}
+	}
 	if cfg.TAvailNanos < 0 {
 		return nil, fmt.Errorf("serve: negative deadline budget %d ns", cfg.TAvailNanos)
 	}
@@ -206,6 +251,24 @@ func New(mp *core.MultiPipeline, cfg Config) (*Server, error) {
 		l := s.lanes[i%n]
 		l.pipes = append(l.pipes, p)
 		s.bySec[p.SecurityID()] = l
+	}
+	if len(cfg.Tiers) > 0 {
+		ladder := make([]*nn.Model, len(cfg.Tiers))
+		for i, t := range cfg.Tiers {
+			ladder[i] = t.Model
+		}
+		for _, p := range pipes {
+			for i, m := range ladder {
+				if m == nil {
+					continue
+				}
+				if !shapeEq(m.InputShape, p.Model().InputShape) {
+					return nil, fmt.Errorf("serve: tier %d model %s expects input %v, pipeline %s feeds %v (zoo variants crop lookback inside the network)",
+						i+1, m.ModelName, m.InputShape, p.Symbol(), p.Model().InputShape)
+				}
+			}
+			p.SetModelLadder(ladder)
+		}
 	}
 	if cfg.Signals != nil {
 		for _, p := range pipes {
@@ -517,6 +580,13 @@ func (s *Server) Stats() Stats {
 		st.DVFSParks = int(gc.parks)
 		st.DVFSSwitches = int(gc.switches)
 		st.MaxPowerWatts = gc.maxDraw
+		st.Degrades = int(gc.degrades)
+		if gc.tierIssues != nil {
+			st.TierIssues = make([]int, len(gc.tierIssues))
+			for i, n := range gc.tierIssues {
+				st.TierIssues[i] = int(n)
+			}
+		}
 	}
 	if s.cfg.Signals != nil {
 		gs := s.cfg.Signals.Stats()
@@ -558,4 +628,16 @@ func (s *Server) ModelledBusyNanos() []int64 {
 // simQuery maps a runtime query onto the probe event taxonomy.
 func simQuery(q query) sim.Query {
 	return sim.Query{ID: q.id, ArrivalNanos: q.arrival, DeadlineNanos: q.deadline}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -25,6 +25,11 @@ const (
 	// QueryDefer: Algorithm 1's candidate queue ended empty and the query
 	// was deferred to the conventional pipeline (a drop for the AI path).
 	QueryDefer
+	// QueryDegrade: the full model was infeasible but the degrade ladder
+	// admitted the batch against a cheaper model tier — an answered query
+	// at reduced accuracy, not a miss. Emitted once per degraded batch for
+	// its oldest query; Tier names the ladder rung.
+	QueryDegrade
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +45,8 @@ func (k QueryEventKind) String() string {
 		return "evict"
 	case QueryDefer:
 		return "defer"
+	case QueryDegrade:
+		return "degrade"
 	default:
 		return "QueryEventKind(?)"
 	}
@@ -87,6 +94,10 @@ type QueryEvent struct {
 	DoneNanos int64
 	// Cause classifies defer events.
 	Cause DeferCause
+	// Tier is the model tier the query was issued against: 0 is the
+	// primary model, t > 0 the t-th rung of the degrade ladder. Set on
+	// degrade events and on issue/complete events of degraded batches.
+	Tier int
 }
 
 // DVFSReason says which scheduler path changed an accelerator's state.

@@ -59,6 +59,8 @@ type Tracer struct {
 	arrived   int
 	issued    int
 	completed int
+	degrades  int
+	tierHits  map[int]int
 	attr      MissAttribution
 	dvfsCount map[DVFSReason]int
 
@@ -188,6 +190,14 @@ func (t *Tracer) OnQueryEvent(e QueryEvent) {
 		default:
 			t.attr.DeferredOther++
 		}
+	case QueryDegrade:
+		// A degraded batch is answered, not missed: count it outside the
+		// miss attribution, per ladder rung.
+		t.degrades++
+		if t.tierHits == nil {
+			t.tierHits = make(map[int]int)
+		}
+		t.tierHits[e.Tier]++
 	}
 }
 
@@ -208,6 +218,13 @@ func (t *Tracer) OnSample(s Sample) {
 func (t *Tracer) Arrived() int   { return t.arrived }
 func (t *Tracer) Issued() int    { return t.issued }
 func (t *Tracer) Completed() int { return t.completed }
+
+// Degrades returns the number of degraded-batch events: admissions rescued
+// by a cheaper model tier instead of deferring.
+func (t *Tracer) Degrades() int { return t.degrades }
+
+// DegradeTier returns how many degraded batches landed on ladder rung tier.
+func (t *Tracer) DegradeTier(tier int) int { return t.tierHits[tier] }
 
 // Attribution returns the per-cause miss classification.
 func (t *Tracer) Attribution() MissAttribution { return t.attr }
@@ -244,6 +261,7 @@ type queryEventJSON struct {
 	Batch     int    `json:"batch,omitempty"`
 	DoneNanos int64  `json:"done,omitempty"`
 	Cause     string `json:"cause,omitempty"`
+	Tier      int    `json:"tier,omitempty"`
 }
 
 type dvfsEventJSON struct {
@@ -294,7 +312,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 				QueryID: e.Query.ID, Arrival: e.Query.ArrivalNanos,
 				Deadline: e.Query.DeadlineNanos, Accel: e.Accel,
 				Batch: e.Batch, DoneNanos: e.DoneNanos,
-				Cause: causeJSON(e),
+				Cause: causeJSON(e), Tier: e.Tier,
 			}
 		case dt <= st:
 			e := ds[di]
@@ -334,6 +352,9 @@ func (t *Tracer) Summary() string {
 		t.arrived, t.issued, t.completed)
 	fmt.Fprintf(&b, "misses (%d): %d evicted, %d deferred deadline-infeasible, %d deferred power-infeasible, %d deferred (uncaused), %d late\n",
 		a.Total(), a.Evicted, a.DeferredDeadline, a.DeferredPower, a.DeferredOther, a.Late)
+	if t.degrades > 0 {
+		fmt.Fprintf(&b, "model degrades: %d batches issued on cheaper tiers\n", t.degrades)
+	}
 	fmt.Fprintf(&b, "dvfs transitions: %d at issue, %d save, %d redistribute, %d park\n",
 		t.dvfsCount[DVFSAtIssue], t.dvfsCount[DVFSSave],
 		t.dvfsCount[DVFSRedistribute], t.dvfsCount[DVFSPark])

@@ -74,6 +74,39 @@ var (
 	NewDeepLOB = nn.NewDeepLOB
 )
 
+// ZooSpec parameterises one model-zoo variant: architecture family, width,
+// depth, lookback and prediction-horizon heads, all generated on the shared
+// GEMM backend. The benchmark models above are presets of this one
+// construction path (see VanillaCNNSpec and friends).
+type ZooSpec = nn.ZooSpec
+
+// ZooArch selects a zoo variant's architecture family.
+type ZooArch = nn.ZooArch
+
+// Zoo architecture families.
+const (
+	ZooCNN         = nn.ZooCNN
+	ZooLSTM        = nn.ZooLSTM
+	ZooTransformer = nn.ZooTransformer
+)
+
+// BuildZoo builds one model-zoo variant. Equal specs produce byte-identical
+// models, and every variant consumes the standard feature window, so zoo
+// models are drop-in replacements anywhere a benchmark model is used —
+// including the serving runtime's degrade ladder (WithModelZoo).
+func BuildZoo(s ZooSpec) (*Model, error) { return nn.BuildZoo(s) }
+
+// MustBuildZoo is BuildZoo, panicking on an invalid spec.
+func MustBuildZoo(s ZooSpec) *Model { return nn.MustBuildZoo(s) }
+
+// Preset zoo specs behind the benchmark constructors and the M1…M5 ladder.
+var (
+	VanillaCNNSpec = nn.VanillaCNNSpec
+	DeepLOBSpec    = nn.DeepLOBSpec
+	TransLOBSpec   = nn.TransLOBSpec
+	SizedCNNSpec   = nn.SizedCNNSpec
+)
+
 // Tick is one market-data event: encoded packet plus book snapshot.
 type Tick = feed.Tick
 

@@ -9,6 +9,8 @@ package lighttrader
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"time"
 
 	"lighttrader/internal/cgra"
@@ -194,6 +196,8 @@ type config struct {
 	clock         func() int64
 	signals       *SignalGateway
 	scenario      *Scenario
+	zoo           []*Model
+	degrade       bool
 }
 
 // Option configures New, NewServer or BacktestContext. Options that do not
@@ -309,6 +313,41 @@ func WithClock(clock func() int64) Option { return func(c *config) { c.clock = c
 // NewScenario.
 func WithScenario(src *Scenario) Option { return func(c *config) { c.scenario = src } }
 
+// WithModelZoo supplies the serving runtime's candidate set of cheaper
+// models for degrade-to-cheaper-model switching (build variants with
+// BuildZoo). NewServer compiles each candidate for the accelerator, keeps
+// the ones strictly cheaper than the primary model, and wires them into a
+// cost-descending ladder: when a query is deadline- or power-infeasible on
+// the full model — even after the power governor's saving step — admission
+// re-runs down the ladder and answers on the first rung that fits instead
+// of dropping. Degraded answers are counted in ServeStats.Degrades and
+// ServeStats.TierIssues, never hidden. Implies WithModelDegradation and
+// workload scheduling. Serving only.
+func WithModelZoo(models ...*Model) Option {
+	return func(c *config) {
+		c.zoo = models
+		c.degrade = true
+		c.admission = true
+		if !c.schedOpts.WorkloadScheduling && !c.schedOpts.DVFSScheduling {
+			c.schedOpts.WorkloadScheduling = true
+		}
+	}
+}
+
+// WithModelDegradation arms degrade-to-cheaper-model switching with a
+// default two-rung CNN ladder (width 16 and width 8 rungs of the M1…M5
+// family). Use WithModelZoo to choose the candidate models instead. Implies
+// workload scheduling. Serving only.
+func WithModelDegradation() Option {
+	return func(c *config) {
+		c.degrade = true
+		c.admission = true
+		if !c.schedOpts.WorkloadScheduling && !c.schedOpts.DVFSScheduling {
+			c.schedOpts.WorkloadScheduling = true
+		}
+	}
+}
+
 // WithSignalGateway attaches a signal-distribution gateway to the serving
 // runtime: every subscription's inference results are published to the
 // gateway's conflated per-symbol streams, consumable in-process via
@@ -340,7 +379,9 @@ func New(m *Model, opts ...Option) (System, error) {
 // WithDVFSScheduling enable online Algorithm-1 admission with latency
 // tables compiled for the first subscription's model under WithPowerBudget
 // (DVFS scheduling also arms the online Algorithm-2 power governor; opt out
-// with WithoutPowerGovernor); WithDeadline, WithMaxQueue, WithBackpressure,
+// with WithoutPowerGovernor); WithModelZoo/WithModelDegradation wire a
+// cost-sorted ladder of cheaper zoo models that admission falls back to
+// when the full model is infeasible; WithDeadline, WithMaxQueue, WithBackpressure,
 // WithModelledClock, WithProbe, WithOrderSink and WithClock configure the
 // runtime directly. Start lanes with Server.Run; feed packets with
 // Server.Submit.
@@ -372,8 +413,62 @@ func NewServer(mp *MultiPipeline, opts ...Option) (*Server, error) {
 		scfg.Sched = &syscfg.Sched
 		scfg.Scheduler = syscfg.Scheduler
 		scfg.PrePipelineNanos = syscfg.PrePipelineNanos
+		if cfg.degrade {
+			tiers, err := buildTiers(cfg, &syscfg.Sched, lanes)
+			if err != nil {
+				return nil, err
+			}
+			scfg.Tiers = tiers
+		}
 	}
 	return serve.New(mp, scfg)
+}
+
+// defaultZoo is WithModelDegradation's fallback ladder: two rungs of the
+// M1…M5 CNN family, cheap enough to sit under every benchmark primary.
+func defaultZoo() []*Model {
+	return []*Model{
+		MustBuildZoo(SizedCNNSpec("degrade-m", 16, 0)),
+		MustBuildZoo(SizedCNNSpec("degrade-s", 8, 0)),
+	}
+}
+
+// buildTiers compiles the zoo candidates onto the primary's accelerator
+// configuration, keeps the ones strictly cheaper than the primary at the
+// static batch-1 operating point, and orders them cost-descending — the
+// first-fit rung order that loses the least accuracy per recovered answer.
+func buildTiers(cfg config, primary *sched.Config, lanes int) ([]serve.TierConfig, error) {
+	zoo := cfg.zoo
+	if len(zoo) == 0 {
+		zoo = defaultZoo()
+	}
+	primaryTT := primary.TotalNanos(primary.StaticDVFS, 1)
+	type rung struct {
+		tier serve.TierConfig
+		tt   int64
+	}
+	var rungs []rung
+	for _, m := range zoo {
+		syscfg, err := core.Configure(m, lanes, cfg.power, cfg.schedOpts)
+		if err != nil {
+			return nil, err
+		}
+		tierSched := syscfg.Sched
+		tt := tierSched.TotalNanos(tierSched.StaticDVFS, 1)
+		if tt >= primaryTT {
+			continue // not cheaper than the primary: never a useful rung
+		}
+		rungs = append(rungs, rung{serve.TierConfig{Sched: &tierSched, Model: m}, tt})
+	}
+	if len(rungs) == 0 {
+		return nil, fmt.Errorf("lighttrader: no zoo model is cheaper than the primary at batch 1 (%d ns); degradation would never fire", primaryTT)
+	}
+	sort.SliceStable(rungs, func(i, j int) bool { return rungs[i].tt > rungs[j].tt })
+	tiers := make([]serve.TierConfig, len(rungs))
+	for i, r := range rungs {
+		tiers[i] = r.tier
+	}
+	return tiers, nil
 }
 
 // BacktestContext is Backtest under a context: cancellation stops the
